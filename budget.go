@@ -1,0 +1,131 @@
+package socialrec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBudgetExhausted is returned when a call would exceed the accountant's
+// total privacy budget.
+var ErrBudgetExhausted = errors.New("socialrec: privacy budget exhausted")
+
+// Accountant enforces a total privacy budget over repeated recommendations.
+//
+// Differential privacy composes additively: every call to Recommend or
+// RecommendTopK releases another ε of information about EVERY sensitive
+// edge in the graph — not only the target's — because each recommendation
+// is computed from the whole graph. A deployment that answers unlimited
+// queries therefore provides no meaningful guarantee. The Accountant tracks
+// the global spend and refuses calls past the configured total.
+//
+// An Accountant is safe for concurrent use.
+type Accountant struct {
+	rec   *Recommender
+	total float64
+
+	mu     sync.Mutex
+	spent  float64
+	ledger []Spend
+}
+
+// Spend is one entry of the accountant's ledger.
+type Spend struct {
+	Target  int
+	K       int // 1 for single recommendations
+	Epsilon float64
+}
+
+// NewAccountant wraps a Recommender with a total privacy budget. The budget
+// must be at least the Recommender's per-call ε.
+func NewAccountant(rec *Recommender, totalEpsilon float64) (*Accountant, error) {
+	if rec == nil {
+		return nil, ErrNilGraph
+	}
+	if rec.Mechanism() == MechanismNone {
+		return nil, fmt.Errorf("socialrec: accountant over a non-private recommender is meaningless")
+	}
+	if totalEpsilon < rec.Epsilon() {
+		return nil, fmt.Errorf("socialrec: total budget %g below per-call epsilon %g", totalEpsilon, rec.Epsilon())
+	}
+	return &Accountant{rec: rec, total: totalEpsilon}, nil
+}
+
+// Total returns the configured budget.
+func (a *Accountant) Total() float64 { return a.total }
+
+// Spent returns the ε consumed so far.
+func (a *Accountant) Spent() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent
+}
+
+// Remaining returns the ε still available.
+func (a *Accountant) Remaining() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total - a.spent
+}
+
+// Ledger returns a copy of the spend history in call order.
+func (a *Accountant) Ledger() []Spend {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Spend(nil), a.ledger...)
+}
+
+// charge reserves eps atomically, returning ErrBudgetExhausted when the
+// reservation would overdraw. Reserving before the query (rather than
+// recording after) keeps concurrent callers from jointly overspending.
+func (a *Accountant) charge(target, k int, eps float64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.spent+eps > a.total+1e-12 {
+		return fmt.Errorf("%w: spent %g of %g, need %g more", ErrBudgetExhausted, a.spent, a.total, eps)
+	}
+	a.spent += eps
+	a.ledger = append(a.ledger, Spend{Target: target, K: k, Epsilon: eps})
+	return nil
+}
+
+// refund returns a reservation after a failed query: a call that returned
+// an error released nothing (the error depends only on the target's own
+// edges, which the relaxed privacy definition does not protect).
+func (a *Accountant) refund(eps float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spent -= eps
+	a.ledger = a.ledger[:len(a.ledger)-1]
+}
+
+// Recommend makes one private recommendation, charging ε against the
+// budget.
+func (a *Accountant) Recommend(target int) (Recommendation, error) {
+	eps := a.rec.Epsilon()
+	if err := a.charge(target, 1, eps); err != nil {
+		return Recommendation{}, err
+	}
+	rec, err := a.rec.Recommend(target)
+	if err != nil {
+		a.refund(eps)
+		return Recommendation{}, err
+	}
+	return rec, nil
+}
+
+// RecommendTopK makes k private recommendations, charging ε for the whole
+// set (the top-k constructions in this library bound the full set's privacy
+// by the Recommender's ε; see Recommender.RecommendTopK).
+func (a *Accountant) RecommendTopK(target, k int) ([]Recommendation, error) {
+	eps := a.rec.Epsilon()
+	if err := a.charge(target, k, eps); err != nil {
+		return nil, err
+	}
+	recs, err := a.rec.RecommendTopK(target, k)
+	if err != nil {
+		a.refund(eps)
+		return nil, err
+	}
+	return recs, nil
+}

@@ -1,0 +1,142 @@
+package socialrec
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestAccountantBasics(t *testing.T) {
+	g := topKGraph(t)
+	rec, err := NewRecommender(g, WithEpsilon(1), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAccountant(rec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 3 || a.Spent() != 0 || a.Remaining() != 3 {
+		t.Errorf("fresh accountant: total=%g spent=%g remaining=%g", a.Total(), a.Spent(), a.Remaining())
+	}
+	target := pickTarget(t, g)
+	for i := 0; i < 3; i++ {
+		if _, err := a.Recommend(target); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if a.Remaining() > 1e-9 {
+		t.Errorf("remaining = %g, want 0", a.Remaining())
+	}
+	if _, err := a.Recommend(target); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("fourth call: want ErrBudgetExhausted, got %v", err)
+	}
+	ledger := a.Ledger()
+	if len(ledger) != 3 {
+		t.Fatalf("ledger has %d entries", len(ledger))
+	}
+	for _, s := range ledger {
+		if s.Target != target || s.K != 1 || s.Epsilon != 1 {
+			t.Errorf("ledger entry %+v", s)
+		}
+	}
+}
+
+func TestAccountantTopKChargesOnce(t *testing.T) {
+	g := topKGraph(t)
+	rec, err := NewRecommender(g, WithEpsilon(1), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAccountant(rec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := pickTarget(t, g)
+	if _, err := a.RecommendTopK(target, 3); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Spent()-1) > 1e-12 {
+		t.Errorf("top-k should charge one epsilon, spent %g", a.Spent())
+	}
+}
+
+func TestAccountantRefundsFailedCalls(t *testing.T) {
+	g := topKGraph(t)
+	rec, err := NewRecommender(g, WithEpsilon(1), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAccountant(rec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Recommend(-1); !errors.Is(err, ErrBadTarget) {
+		t.Fatalf("want ErrBadTarget, got %v", err)
+	}
+	if a.Spent() != 0 {
+		t.Errorf("failed call should refund: spent %g", a.Spent())
+	}
+	if len(a.Ledger()) != 0 {
+		t.Errorf("ledger should be empty after refund")
+	}
+}
+
+func TestAccountantValidation(t *testing.T) {
+	g := topKGraph(t)
+	rec, err := NewRecommender(g, WithEpsilon(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAccountant(rec, 1); err == nil {
+		t.Error("budget below per-call epsilon accepted")
+	}
+	if _, err := NewAccountant(nil, 5); err == nil {
+		t.Error("nil recommender accepted")
+	}
+	np, err := NewRecommender(g, NonPrivate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAccountant(np, 5); err == nil {
+		t.Error("non-private recommender accepted")
+	}
+}
+
+func TestAccountantConcurrentNeverOverspends(t *testing.T) {
+	g := topKGraph(t)
+	rec, err := NewRecommender(g, WithEpsilon(1), WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 10
+	a, err := NewAccountant(rec, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := pickTarget(t, g)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	successes := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := a.Recommend(target); err == nil {
+					mu.Lock()
+					successes++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if successes != budget {
+		t.Errorf("%d successful calls on a budget of %d", successes, budget)
+	}
+	if a.Spent() > budget+1e-9 {
+		t.Errorf("overspent: %g", a.Spent())
+	}
+}

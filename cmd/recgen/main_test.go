@@ -1,0 +1,56 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestBuildModels(t *testing.T) {
+	cases := []struct {
+		model    string
+		directed bool
+		minNodes int
+	}{
+		{"wiki-vote", false, 100},
+		{"twitter", true, 100},
+		{"ba", false, 1000},
+		{"powerlaw", false, 1000},
+		{"er", false, 1000},
+		{"ws", false, 1000},
+	}
+	for _, c := range cases {
+		scale := 50
+		g, err := build(c.model, scale, 1000, 4, 5000, 1.5, 0.1, 1)
+		if err != nil {
+			t.Fatalf("build(%s): %v", c.model, err)
+		}
+		if g.Directed() != c.directed {
+			t.Errorf("%s: directed=%v", c.model, g.Directed())
+		}
+		if g.NumNodes() < c.minNodes {
+			t.Errorf("%s: n=%d", c.model, g.NumNodes())
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", c.model, err)
+		}
+	}
+}
+
+func TestBuildUnknownModel(t *testing.T) {
+	if _, err := build("petersen", 1, 10, 3, 20, 1.5, 0.1, 1); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := build("ba", 1, 200, 3, 0, 0, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build("ba", 1, 200, 3, 0, 0, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("same seed, different graphs")
+	}
+}

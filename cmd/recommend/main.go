@@ -1,0 +1,113 @@
+// Command recommend makes one differentially private social recommendation
+// from an edge-list file.
+//
+// Usage:
+//
+//	recommend -graph social.txt -target 42 -epsilon 1 -utility common-neighbors
+//	recommend -graph follows.txt.gz -directed -target 7 -mechanism laplace
+//	recommend -graph social.txt -target 42 -audit   # also print the accuracy ceiling
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"socialrec"
+)
+
+func main() {
+	var (
+		path     = flag.String("graph", "", "edge-list file (required; .gz supported)")
+		directed = flag.Bool("directed", false, "treat the edge list as directed")
+		target   = flag.Int("target", 0, "node to recommend for")
+		epsilon  = flag.Float64("epsilon", 1, "privacy parameter")
+		utilName = flag.String("utility", "common-neighbors", "utility: common-neighbors, weighted-paths, pagerank, degree")
+		gamma    = flag.Float64("gamma", 0.005, "path discount for weighted-paths")
+		mechName = flag.String("mechanism", "exponential", "mechanism: exponential, laplace, smoothing, none")
+		seed     = flag.Int64("seed", 0, "seed (0 = derive from target)")
+		audit    = flag.Bool("audit", false, "print the theoretical accuracy ceiling and mechanism accuracy")
+	)
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "recommend: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := socialrec.ReadGraphFile(*path, *directed)
+	if err != nil {
+		fail(err)
+	}
+
+	var util socialrec.UtilityFunction
+	switch *utilName {
+	case "common-neighbors":
+		util = socialrec.CommonNeighbors()
+	case "weighted-paths":
+		util = socialrec.WeightedPaths(*gamma)
+	case "pagerank":
+		util = socialrec.PersonalizedPageRank(0.15)
+	case "degree":
+		util = socialrec.DegreeUtility()
+	default:
+		fail(fmt.Errorf("unknown utility %q", *utilName))
+	}
+
+	var kind socialrec.MechanismKind
+	switch *mechName {
+	case "exponential":
+		kind = socialrec.MechanismExponential
+	case "laplace":
+		kind = socialrec.MechanismLaplace
+	case "smoothing":
+		kind = socialrec.MechanismSmoothing
+	case "none":
+		kind = socialrec.MechanismNone
+	default:
+		fail(fmt.Errorf("unknown mechanism %q", *mechName))
+	}
+
+	opts := []socialrec.Option{
+		socialrec.WithEpsilon(*epsilon),
+		socialrec.WithUtility(util),
+		socialrec.WithMechanism(kind),
+	}
+	if *seed != 0 {
+		opts = append(opts, socialrec.WithSeed(*seed))
+	} else {
+		opts = append(opts, socialrec.WithSeed(int64(*target)+1))
+	}
+
+	rec, err := socialrec.NewRecommender(g, opts...)
+	if err != nil {
+		fail(err)
+	}
+	suggestion, err := rec.Recommend(*target)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("recommend node %d to node %d (mechanism=%s, utility=%s, epsilon=%g)\n",
+		suggestion.Node, *target, kind, util.Name(), *epsilon)
+
+	if *audit {
+		acc, err := rec.ExpectedAccuracy(*target)
+		if err != nil {
+			fail(err)
+		}
+		ceiling, err := rec.AccuracyCeiling(*target)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("expected accuracy: %.4f\n", acc)
+		fmt.Printf("theoretical ceiling for ANY %.2g-private algorithm: %.4f\n", *epsilon, ceiling)
+		if floor := rec.EpsilonFloor(g.OutDegree(*target)); floor == floor { // not NaN
+			fmt.Printf("epsilon floor for constant accuracy at this degree: %.4f\n", floor)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "recommend:", err)
+	os.Exit(1)
+}

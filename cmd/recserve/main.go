@@ -1,0 +1,92 @@
+// Command recserve runs the differentially private recommendation service
+// over an edge-list graph.
+//
+// Usage:
+//
+//	recserve -graph social.txt -epsilon 1 -budget 100 -addr :8080
+//
+// Endpoints:
+//
+//	GET /healthz
+//	GET /v1/recommend?target=42        one private recommendation
+//	GET /v1/recommend?target=42&k=5    private top-k
+//	GET /v1/audit?target=42            accuracy ceiling + expected accuracy
+//	GET /v1/budget                     global privacy budget status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"socialrec"
+	"socialrec/internal/recserver"
+)
+
+func main() {
+	var (
+		path     = flag.String("graph", "", "edge-list file (required)")
+		directed = flag.Bool("directed", false, "treat the edge list as directed")
+		epsilon  = flag.Float64("epsilon", 1, "per-recommendation privacy parameter")
+		budget   = flag.Float64("budget", 100, "total privacy budget (0 disables budgeting)")
+		mech     = flag.String("mechanism", "exponential", "mechanism: exponential, laplace, smoothing")
+		addr     = flag.String("addr", ":8080", "listen address")
+		seed     = flag.Int64("seed", 0, "seed (0 = time-based; use non-zero only for testing)")
+	)
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "recserve: -graph is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := socialrec.ReadGraphFile(*path, *directed)
+	if err != nil {
+		log.Fatalf("recserve: %v", err)
+	}
+
+	var kind socialrec.MechanismKind
+	switch *mech {
+	case "exponential":
+		kind = socialrec.MechanismExponential
+	case "laplace":
+		kind = socialrec.MechanismLaplace
+	case "smoothing":
+		kind = socialrec.MechanismSmoothing
+	default:
+		log.Fatalf("recserve: unknown mechanism %q", *mech)
+	}
+
+	s := *seed
+	if s == 0 {
+		s = time.Now().UnixNano()
+	}
+	rec, err := socialrec.NewRecommender(g,
+		socialrec.WithEpsilon(*epsilon),
+		socialrec.WithMechanism(kind),
+		socialrec.WithSeed(s),
+	)
+	if err != nil {
+		log.Fatalf("recserve: %v", err)
+	}
+
+	srv, err := recserver.New(recserver.Config{
+		Recommender:  rec,
+		TotalEpsilon: *budget,
+	})
+	if err != nil {
+		log.Fatalf("recserve: %v", err)
+	}
+
+	log.Printf("recserve: %d nodes, %d edges, eps=%g, budget=%g, listening on %s",
+		g.NumNodes(), g.NumEdges(), *epsilon, *budget, *addr)
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Fatal(server.ListenAndServe())
+}

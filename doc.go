@@ -1,0 +1,36 @@
+// Package socialrec is a differentially private social recommendation
+// library reproducing "Personalized Social Recommendations — Accurate or
+// Private?" (Machanavajjhala, Korolova, Das Sarma; PVLDB 4(7), 2011).
+//
+// The library makes graph link-analysis recommendations (friend, page, or
+// product suggestions driven purely by the link structure of a social graph)
+// under edge differential privacy: the recommendation distribution changes
+// by at most a factor e^ε when any single sensitive edge is added to or
+// removed from the graph.
+//
+// # Quick start
+//
+//	g := socialrec.NewGraph(4)
+//	g.AddEdge(0, 1)
+//	g.AddEdge(1, 2)
+//	g.AddEdge(1, 3)
+//	g.AddEdge(2, 3)
+//	rec, err := socialrec.NewRecommender(g,
+//		socialrec.WithEpsilon(1.0),
+//		socialrec.WithUtility(socialrec.CommonNeighbors()),
+//	)
+//	if err != nil { ... }
+//	suggestion, err := rec.Recommend(0) // a private suggestion for node 0
+//
+// # What the theory says
+//
+// The paper proves that privacy and accuracy are fundamentally at odds for
+// social recommendations: any ε-differentially private recommender loses
+// almost all utility for low-degree targets. The Recommender surfaces this
+// through AccuracyCeiling, the per-target Corollary 1 upper bound on the
+// accuracy any ε-private algorithm can attain, and ExpectedAccuracy, the
+// accuracy the configured mechanism actually attains. Comparing the two on
+// your own graph reproduces the paper's headline finding: good private
+// social recommendations are feasible only for a small subset of users or
+// for lenient privacy parameters.
+package socialrec

@@ -1,0 +1,76 @@
+package socialrec_test
+
+import (
+	"fmt"
+	"log"
+
+	"socialrec"
+)
+
+// The kite graph: node 0's best suggestion is node 3, reachable through
+// two common neighbors.
+func buildDemoGraph() *socialrec.Graph {
+	g := socialrec.NewGraph(5)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {3, 4}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return g
+}
+
+func ExampleNewRecommender() {
+	g := buildDemoGraph()
+	rec, err := socialrec.NewRecommender(g,
+		socialrec.WithEpsilon(1.0),
+		socialrec.WithUtility(socialrec.CommonNeighbors()),
+		socialrec.WithSeed(7),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := rec.Recommend(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("suggestion is a non-neighbor:", s.Node != 0 && s.Node != 1 && s.Node != 2)
+	// Output: suggestion is a non-neighbor: true
+}
+
+func ExampleRecommender_AccuracyCeiling() {
+	g := buildDemoGraph()
+	rec, err := socialrec.NewRecommender(g, socialrec.WithEpsilon(0.5), socialrec.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ceiling, err := rec.AccuracyCeiling(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := rec.ExpectedAccuracy(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("mechanism within ceiling:", acc <= ceiling)
+	// Output: mechanism within ceiling: true
+}
+
+func ExampleNewAccountant() {
+	g := buildDemoGraph()
+	rec, err := socialrec.NewRecommender(g, socialrec.WithEpsilon(1), socialrec.WithSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	acct, err := socialrec.NewAccountant(rec, 2) // total budget: two calls
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		_, err := acct.Recommend(0)
+		fmt.Println("call", i, "ok:", err == nil)
+	}
+	// Output:
+	// call 0 ok: true
+	// call 1 ok: true
+	// call 2 ok: false
+}

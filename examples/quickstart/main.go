@@ -1,0 +1,64 @@
+// Quickstart: build a small friendship graph, make a differentially private
+// friend suggestion, and inspect the privacy-accuracy diagnostics the
+// library exposes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"socialrec"
+)
+
+func main() {
+	// A small friendship graph. Node 0 is friends with 1 and 2; nodes 1 and
+	// 2 are both friends with 3, making 3 the natural suggestion for 0.
+	g := socialrec.NewGraph(6)
+	edges := [][2]int{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}}
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	rec, err := socialrec.NewRecommender(g,
+		socialrec.WithEpsilon(1.0),
+		socialrec.WithUtility(socialrec.CommonNeighbors()),
+		socialrec.WithMechanism(socialrec.MechanismExponential),
+		socialrec.WithSeed(42), // deterministic for the example
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	suggestion, err := rec.Recommend(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("private suggestion for user 0: user %d\n", suggestion.Node)
+
+	// How good can this possibly be? ExpectedAccuracy is what the chosen
+	// mechanism attains; AccuracyCeiling is the Corollary 1 bound on ANY
+	// ε-private algorithm.
+	acc, err := rec.ExpectedAccuracy(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ceiling, err := rec.AccuracyCeiling(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expected accuracy at eps=1: %.3f\n", acc)
+	fmt.Printf("accuracy ceiling for any 1-private algorithm: %.3f\n", ceiling)
+
+	// The non-private baseline R_best always achieves accuracy 1.
+	best, err := socialrec.NewRecommender(g, socialrec.NonPrivate(), socialrec.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := best.Recommend(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("non-private suggestion (R_best): user %d with utility %.0f\n", b.Node, b.Utility)
+}

@@ -1,0 +1,202 @@
+// Package dataset reads and writes social graphs in the SNAP edge-list text
+// format used by the paper's Wikipedia vote dataset (wiki-Vote.txt):
+// '#'-prefixed comment lines followed by one whitespace-separated node pair
+// per line. Node IDs in files are arbitrary non-negative integers and are
+// remapped to the dense 0..N-1 IDs the graph package uses; the mapping is
+// returned so callers can translate recommendations back to original IDs.
+// Gzip-compressed files are handled transparently by file extension.
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"socialrec/internal/graph"
+)
+
+// ErrFormat wraps malformed input errors.
+var ErrFormat = errors.New("dataset: malformed edge list")
+
+// Options controls parsing behavior.
+type Options struct {
+	// Directed selects a directed graph; the SNAP wiki-Vote file is directed
+	// but the paper converts it to undirected, which is the default here.
+	Directed bool
+	// KeepSelfLoops=false (the default) silently drops self loops, matching
+	// the simple-graph model. When true, a self loop is a format error,
+	// since graph.Graph cannot represent one.
+	KeepSelfLoops bool
+}
+
+// IDMap translates between external node labels and dense internal IDs.
+type IDMap struct {
+	toInternal map[int64]int
+	toExternal []int64
+}
+
+// Internal returns the dense ID for an external label and whether it exists.
+func (m *IDMap) Internal(external int64) (int, bool) {
+	v, ok := m.toInternal[external]
+	return v, ok
+}
+
+// External returns the original label of a dense ID.
+func (m *IDMap) External(internal int) int64 { return m.toExternal[internal] }
+
+// Len returns the number of mapped nodes.
+func (m *IDMap) Len() int { return len(m.toExternal) }
+
+// Read parses an edge list from r. Duplicate edges (including the reverse
+// orientation in undirected mode) are dropped silently, as SNAP files list
+// both directions of mutual links. External labels are assigned dense IDs in
+// ascending label order, so a file whose labels are already 0..N-1 maps to
+// the identity and Write/Read round-trips exactly.
+func Read(r io.Reader, opts Options) (*graph.Graph, *IDMap, error) {
+	ids := &IDMap{toInternal: make(map[int64]int)}
+	type rawEdge struct{ u, v int64 }
+	var edges []rawEdge
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("%w: line %d: %q", ErrFormat, lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: line %d: %v", ErrFormat, lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: line %d: %v", ErrFormat, lineNo, err)
+		}
+		if u == v {
+			if opts.KeepSelfLoops {
+				return nil, nil, fmt.Errorf("%w: line %d: self loop %d", ErrFormat, lineNo, u)
+			}
+			continue
+		}
+		edges = append(edges, rawEdge{u, v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	// Intern nodes in ascending label order for stable IDs.
+	labelSet := make(map[int64]struct{}, 2*len(edges))
+	for _, e := range edges {
+		labelSet[e.u] = struct{}{}
+		labelSet[e.v] = struct{}{}
+	}
+	labels := make([]int64, 0, len(labelSet))
+	for l := range labelSet {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	for _, l := range labels {
+		ids.toInternal[l] = len(ids.toExternal)
+		ids.toExternal = append(ids.toExternal, l)
+	}
+	var g *graph.Graph
+	if opts.Directed {
+		g = graph.NewDirected(ids.Len())
+	} else {
+		g = graph.New(ids.Len())
+	}
+	for _, e := range edges {
+		u := ids.toInternal[e.u]
+		v := ids.toInternal[e.v]
+		if g.HasEdge(u, v) {
+			continue
+		}
+		if err := g.AddEdge(u, v); err != nil {
+			return nil, nil, err
+		}
+	}
+	return g, ids, nil
+}
+
+// Write emits g as a SNAP-style edge list with a summary comment header.
+// External IDs equal internal IDs (0..N-1); files round-trip through Read.
+func Write(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	kind := "Undirected"
+	if g.Directed() {
+		kind = "Directed"
+	}
+	if _, err := fmt.Fprintf(bw, "# %s graph: %d nodes, %d edges\n# FromNodeId\tToNodeId\n",
+		kind, g.NumNodes(), g.NumEdges()); err != nil {
+		return err
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\n", e.From, e.To); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFile loads an edge list from path, decompressing transparently when
+// the file name ends in ".gz".
+func ReadFile(path string, opts Options) (*graph.Graph, *IDMap, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: %s: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
+	}
+	return Read(r, opts)
+}
+
+// WriteFile stores g at path, gzip-compressing when the name ends in ".gz".
+func WriteFile(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gz") {
+		zw := gzip.NewWriter(f)
+		if err := Write(zw, g); err != nil {
+			zw.Close()
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	if err := Write(f, g); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,245 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"socialrec/internal/distribution"
+	"socialrec/internal/gen"
+	"socialrec/internal/graph"
+)
+
+const sampleEdgeList = `# Directed graph (each unordered pair of nodes is saved once)
+# Comment line
+30	1412
+30	3352
+30	5254
+1412	30
+3352	99
+`
+
+func TestReadUndirectedDedups(t *testing.T) {
+	g, ids, err := Read(strings.NewReader(sampleEdgeList), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30-1412 appears in both orientations: one undirected edge.
+	if g.NumEdges() != 4 {
+		t.Errorf("m = %d, want 4", g.NumEdges())
+	}
+	if g.NumNodes() != 5 {
+		t.Errorf("n = %d, want 5", g.NumNodes())
+	}
+	// Ascending-label interning: 30 -> 0, 99 -> 1, 1412 -> 2, 3352 -> 3,
+	// 5254 -> 4.
+	if id, ok := ids.Internal(30); !ok || id != 0 {
+		t.Errorf("Internal(30) = %d, %v", id, ok)
+	}
+	if id, ok := ids.Internal(99); !ok || id != 1 {
+		t.Errorf("Internal(99) = %d, %v", id, ok)
+	}
+	if ids.External(4) != 5254 {
+		t.Errorf("External(4) = %d", ids.External(4))
+	}
+	if _, ok := ids.Internal(12345); ok {
+		t.Error("Internal of unknown label should report false")
+	}
+	if ids.Len() != 5 {
+		t.Errorf("Len = %d", ids.Len())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadDirectedKeepsOrientations(t *testing.T) {
+	g, _, err := Read(strings.NewReader(sampleEdgeList), Options{Directed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 5 {
+		t.Errorf("m = %d, want 5", g.NumEdges())
+	}
+	if !g.Directed() {
+		t.Error("want directed")
+	}
+}
+
+func TestReadSkipsSelfLoops(t *testing.T) {
+	g, _, err := Read(strings.NewReader("1 1\n1 2\n"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("m = %d, want 1 (self loop dropped)", g.NumEdges())
+	}
+}
+
+func TestReadSelfLoopErrorWhenKept(t *testing.T) {
+	_, _, err := Read(strings.NewReader("1 1\n"), Options{KeepSelfLoops: true})
+	if !errors.Is(err, ErrFormat) {
+		t.Errorf("want ErrFormat, got %v", err)
+	}
+}
+
+func TestReadMalformed(t *testing.T) {
+	for _, in := range []string{"abc def\n", "1\n", "1 x\n"} {
+		if _, _, err := Read(strings.NewReader(in), Options{}); !errors.Is(err, ErrFormat) {
+			t.Errorf("input %q: want ErrFormat, got %v", in, err)
+		}
+	}
+}
+
+func TestReadEmptyAndCommentsOnly(t *testing.T) {
+	g, ids, err := Read(strings.NewReader("# nothing\n% percent comment\n\n"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || ids.Len() != 0 {
+		t.Errorf("empty input produced n=%d", g.NumNodes())
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := graph.New(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# Undirected graph: 5 nodes, 5 edges") {
+		t.Errorf("header missing: %q", buf.String())
+	}
+	back, _, err := Read(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Error("round trip changed graph")
+	}
+}
+
+func TestWriteReadRoundTripDirected(t *testing.T) {
+	g := graph.NewDirected(3)
+	for _, e := range [][2]int{{0, 1}, {1, 0}, {2, 1}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := Read(&buf, Options{Directed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Error("directed round trip changed graph")
+	}
+}
+
+func TestFileRoundTripPlainAndGzip(t *testing.T) {
+	dir := t.TempDir()
+	g, err := gen.ErdosRenyiGNM(40, 80, distribution.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"g.txt", "g.txt.gz"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, g); err != nil {
+			t.Fatalf("WriteFile(%s): %v", name, err)
+		}
+		back, _, err := ReadFile(path, Options{})
+		if err != nil {
+			t.Fatalf("ReadFile(%s): %v", name, err)
+		}
+		if !back.Equal(g) {
+			t.Errorf("%s: round trip changed graph", name)
+		}
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, _, err := ReadFile(filepath.Join(t.TempDir(), "absent.txt"), Options{}); err == nil {
+		t.Error("want error for missing file")
+	}
+}
+
+func TestLoadWikiVoteSynthetic(t *testing.T) {
+	l, err := LoadWikiVote("", 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Source != SourceSynthetic {
+		t.Errorf("source = %s", l.Source)
+	}
+	if l.Graph.Directed() {
+		t.Error("wiki-vote should be undirected")
+	}
+	if l.Graph.NumNodes() != gen.WikiVoteNodes/20 {
+		t.Errorf("n = %d", l.Graph.NumNodes())
+	}
+	// Deterministic in seed.
+	l2, err := LoadWikiVote("", 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Graph.Equal(l2.Graph) {
+		t.Error("synthetic load not deterministic")
+	}
+}
+
+func TestLoadWikiVoteFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wiki-Vote.txt")
+	g, err := gen.ErdosRenyiGNM(30, 60, distribution.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	l, err := LoadWikiVote(path, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Source != SourceFile {
+		t.Errorf("source = %s, want file", l.Source)
+	}
+	if l.Graph.NumNodes() != 30 {
+		t.Errorf("n = %d", l.Graph.NumNodes())
+	}
+}
+
+func TestLoadWikiVoteMissingFileFallsBack(t *testing.T) {
+	l, err := LoadWikiVote(filepath.Join(t.TempDir(), "nope.txt"), 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Source != SourceSynthetic {
+		t.Errorf("source = %s, want synthetic fallback", l.Source)
+	}
+}
+
+func TestLoadTwitterSynthetic(t *testing.T) {
+	l, err := LoadTwitter("", 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Source != SourceSynthetic {
+		t.Errorf("source = %s", l.Source)
+	}
+	if !l.Graph.Directed() {
+		t.Error("twitter should be directed")
+	}
+	if l.Graph.NumNodes() != gen.TwitterNodes/100 {
+		t.Errorf("n = %d", l.Graph.NumNodes())
+	}
+}

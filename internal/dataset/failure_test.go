@@ -1,0 +1,110 @@
+package dataset
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/iotest"
+)
+
+// Failure-injection tests: parsing must surface I/O and format errors
+// instead of returning partial graphs.
+
+func TestReadPropagatesReaderError(t *testing.T) {
+	injected := errors.New("disk on fire")
+	r := iotest.ErrReader(injected)
+	if _, _, err := Read(r, Options{}); !errors.Is(err, injected) {
+		t.Errorf("want injected error, got %v", err)
+	}
+}
+
+func TestReadErrorMidStream(t *testing.T) {
+	// TimeoutReader yields data once then errors.
+	r := iotest.TimeoutReader(strings.NewReader("0 1\n1 2\n2 3\n"))
+	_, _, err := Read(r, Options{})
+	if err == nil {
+		t.Error("mid-stream error swallowed")
+	}
+}
+
+func TestReadOverlongLineRejected(t *testing.T) {
+	// A single line beyond the scanner's 4 MiB cap must error, not hang.
+	long := strings.Repeat("9", 5<<20)
+	_, _, err := Read(strings.NewReader(long+" 1\n"), Options{})
+	if err == nil {
+		t.Error("overlong line accepted")
+	}
+}
+
+func TestReadFileCorruptGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.txt.gz")
+	if err := os.WriteFile(path, []byte("this is not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFile(path, Options{}); err == nil {
+		t.Error("corrupt gzip accepted")
+	}
+}
+
+func TestReadFileTruncatedGzip(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.txt.gz")
+	g, _, err := Read(strings.NewReader("0 1\n1 2\n"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(good, g); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "trunc.txt.gz")
+	if err := os.WriteFile(bad, data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFile(bad, Options{}); err == nil {
+		t.Error("truncated gzip accepted")
+	}
+}
+
+func TestWriteFileToUnwritablePath(t *testing.T) {
+	g, _, err := Read(strings.NewReader("0 1\n"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "g.txt"), g); err == nil {
+		t.Error("write into missing directory accepted")
+	}
+}
+
+func TestReadHugeNodeIDs(t *testing.T) {
+	// 64-bit external IDs must be remapped, not overflow.
+	g, ids, err := Read(strings.NewReader("9223372036854775806 9223372036854775805\n"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Errorf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if ids.External(1) != 9223372036854775806 {
+		t.Errorf("external ID lost: %d", ids.External(1))
+	}
+}
+
+func TestReadNegativeIDsRejectedGracefully(t *testing.T) {
+	// Negative labels parse as int64 and are legal external labels.
+	g, ids, err := Read(strings.NewReader("-5 7\n"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2 {
+		t.Errorf("n=%d", g.NumNodes())
+	}
+	if id, ok := ids.Internal(-5); !ok || id != 0 {
+		t.Errorf("Internal(-5) = %d, %v", id, ok)
+	}
+}

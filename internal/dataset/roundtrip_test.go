@@ -1,0 +1,107 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"socialrec/internal/graph"
+)
+
+// TestPropertyWriteReadRoundTrip: any simple graph survives serialization,
+// in both orientations.
+func TestPropertyWriteReadRoundTrip(t *testing.T) {
+	err := quick.Check(func(seed int64, directedFlag bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		var g *graph.Graph
+		if directedFlag {
+			g = graph.NewDirected(n)
+		} else {
+			g = graph.New(n)
+		}
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			return false
+		}
+		back, ids, err := Read(&buf, Options{Directed: directedFlag})
+		if err != nil {
+			return false
+		}
+		// Isolated nodes are not representable in an edge list, so labels
+		// may be remapped densely; compare edges through the ID map.
+		for _, e := range g.Edges() {
+			from, ok := ids.Internal(int64(e.From))
+			if !ok {
+				return false
+			}
+			to, ok := ids.Internal(int64(e.To))
+			if !ok {
+				return false
+			}
+			if !back.HasEdge(from, to) {
+				return false
+			}
+		}
+		return back.NumEdges() == g.NumEdges()
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserNeverPanics feeds adversarial byte soup to the parser; it must
+// return errors, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	inputs := []string{
+		"", "\x00\x01\x02", "1", "1 2 3 4 5", "-9223372036854775808 1",
+		"9223372036854775807 9223372036854775807",
+		"1\t\t2", "  1   2  ", "# only comments\n# more",
+		"1 2\n2 1\n1 2\n", "\n\n\n", "a b\n", "1 b\n", "💥 🎆\n",
+		strings.Repeat("1 2\n", 1000),
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("input %q: panic %v", in, r)
+				}
+			}()
+			g, _, err := Read(strings.NewReader(in), Options{})
+			if err == nil && g != nil {
+				if verr := g.Validate(); verr != nil {
+					t.Errorf("input %q: invalid graph accepted: %v", in, verr)
+				}
+			}
+		}()
+	}
+}
+
+// TestParserRandomBytes: random binary input must never panic and never
+// produce an invalid graph.
+func TestParserRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		buf := make([]byte, rng.Intn(400))
+		for i := range buf {
+			buf[i] = byte(rng.Intn(256))
+		}
+		g, _, err := Read(bytes.NewReader(buf), Options{})
+		if err == nil && g != nil {
+			if verr := g.Validate(); verr != nil {
+				t.Fatalf("trial %d: invalid graph: %v", trial, verr)
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package dpcheck
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"socialrec/internal/distribution"
+	"socialrec/internal/gen"
+	"socialrec/internal/graph"
+	"socialrec/internal/mechanism"
+	"socialrec/internal/utility"
+)
+
+func smallGraph(t *testing.T, seed int64, n, m int) *graph.Graph {
+	t.Helper()
+	g, err := gen.ErdosRenyiGNM(n, m, distribution.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func smallDirected(t *testing.T, seed int64, n, m int) *graph.Graph {
+	t.Helper()
+	g, err := gen.DirectedPreferentialAttachment(n, m, 2, 2.0, distribution.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestExponentialIsPrivate is the theorem-4 end-to-end check: the
+// exponential mechanism with the utility's declared sensitivity satisfies
+// ε-DP against every single-edge neighbor, for every utility function, on
+// both undirected and directed graphs.
+func TestExponentialIsPrivate(t *testing.T) {
+	utilities := []utility.Function{
+		utility.CommonNeighbors{},
+		utility.WeightedPaths{Gamma: 0.05},
+		utility.Degree{},
+		utility.Jaccard{},
+	}
+	graphs := map[string]*graph.Graph{
+		"undirected": smallGraph(t, 1, 14, 30),
+		"directed":   smallDirected(t, 2, 14, 40),
+	}
+	for gname, g := range graphs {
+		for _, f := range utilities {
+			for _, eps := range []float64{0.5, 1, 3} {
+				rep, err := Check(g, f, Exponential(eps), 0)
+				if err != nil {
+					t.Fatalf("%s/%s eps=%g: %v", gname, f.Name(), eps, err)
+				}
+				if rep.Pairs == 0 {
+					t.Fatalf("%s/%s: no pairs checked", gname, f.Name())
+				}
+				if !rep.Satisfies(eps) {
+					t.Errorf("%s/%s eps=%g: max ratio %g exceeds e^eps=%g (worst edge %v, sens %g)",
+						gname, f.Name(), eps, rep.MaxRatio, math.Exp(eps), rep.WorstEdge, rep.Sensitivity)
+				}
+			}
+		}
+	}
+}
+
+// TestExponentialRatioIsTightish sanity-checks that the verifier actually
+// measures something: the worst-case ratio should be meaningfully above 1
+// (a vacuous checker would report exactly 1 everywhere).
+func TestExponentialRatioIsTightish(t *testing.T) {
+	g := smallGraph(t, 3, 12, 24)
+	rep, err := Check(g, utility.CommonNeighbors{}, Exponential(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxRatio <= 1.01 {
+		t.Errorf("max ratio %g suspiciously close to 1", rep.MaxRatio)
+	}
+}
+
+// TestBestIsNotPrivate: R_best concentrates all probability on the argmax,
+// so toggling an edge that changes the argmax produces an infinite ratio.
+func TestBestIsNotPrivate(t *testing.T) {
+	g := smallGraph(t, 4, 10, 18)
+	rep, err := Check(g, utility.CommonNeighbors{}, Best(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(rep.MaxRatio, 1) {
+		t.Errorf("R_best should violate DP with infinite ratio, got %g", rep.MaxRatio)
+	}
+	if rep.Satisfies(100) {
+		t.Error("Satisfies should reject an infinite ratio at any eps")
+	}
+}
+
+// TestSmoothingIsPrivateAtTheorem5Epsilon verifies A_S(x) against the exact
+// ε = ln(1 + nx/(1-x)) Theorem 5 grants, where n is the candidate count.
+func TestSmoothingIsPrivateAtTheorem5Epsilon(t *testing.T) {
+	g := smallGraph(t, 5, 12, 20)
+	const x = 0.3
+	rep, err := Check(g, utility.CommonNeighbors{}, Smoothing(x), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCand := len(utility.Candidates(g, 0))
+	eps := (mechanism.Smoothing{X: x, Base: mechanism.Best{}}).Epsilon(nCand)
+	if !rep.Satisfies(eps) {
+		t.Errorf("smoothing ratio %g exceeds e^%g", rep.MaxRatio, eps)
+	}
+	// And it should NOT satisfy a drastically smaller epsilon... unless the
+	// graph never flips the argmax; verify only when the ratio is > 1.
+	if rep.MaxRatio > 1 && rep.Satisfies(0.0001) {
+		t.Errorf("ratio %g should exceed e^0.0001", rep.MaxRatio)
+	}
+}
+
+// TestUnderdeclaredSensitivityCaught: the checker must catch a mechanism
+// configured with a sensitivity below the utility's true Δf. We simulate the
+// bug by fixing Δf to a fraction of the declared value and driving ε high
+// enough that headroom disappears.
+func TestUnderdeclaredSensitivityCaught(t *testing.T) {
+	g := smallGraph(t, 6, 12, 26)
+	const eps = 1.0
+	buggy := func(sens float64) mechanism.Distribution {
+		return mechanism.Exponential{Epsilon: eps, Sensitivity: sens / 10}
+	}
+	rep, err := Check(g, utility.CommonNeighbors{}, buggy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Satisfies(eps) {
+		t.Errorf("10x underdeclared sensitivity went unnoticed (ratio %g)", rep.MaxRatio)
+	}
+}
+
+func TestCheckTargetValidation(t *testing.T) {
+	g := smallGraph(t, 7, 5, 6)
+	if _, err := Check(g, utility.CommonNeighbors{}, Exponential(1), 99); !errors.Is(err, ErrTarget) {
+		t.Errorf("want ErrTarget, got %v", err)
+	}
+}
+
+func TestCheckDoesNotMutateGraph(t *testing.T) {
+	g := smallGraph(t, 8, 10, 15)
+	before := g.Clone()
+	if _, err := Check(g, utility.CommonNeighbors{}, Exponential(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(before) {
+		t.Error("Check mutated the input graph")
+	}
+}
+
+func TestPairCountUndirected(t *testing.T) {
+	// n=5, target 0: togglable pairs are all {u,v} ⊂ {1,2,3,4}: C(4,2)=6.
+	g := graph.New(5)
+	rep, err := Check(g, utility.Degree{}, Exponential(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pairs != 6 {
+		t.Errorf("pairs = %d, want 6", rep.Pairs)
+	}
+}
+
+func TestPairCountDirected(t *testing.T) {
+	// Directed: ordered pairs over {1,2,3,4}: 4*3 = 12.
+	g := graph.NewDirected(5)
+	rep, err := Check(g, utility.Degree{}, Exponential(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pairs != 12 {
+		t.Errorf("pairs = %d, want 12", rep.Pairs)
+	}
+}

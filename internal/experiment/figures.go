@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"socialrec/internal/dataset"
+	"socialrec/internal/graph"
+	"socialrec/internal/utility"
+)
+
+// FigureSpec declares one of the paper's figures as an executable
+// configuration: which dataset, utility function, privacy levels, and target
+// fraction reproduce it.
+type FigureSpec struct {
+	// ID is the paper's figure number ("1a", "1b", "2a", "2b", "2c").
+	ID string
+	// Title is the caption fragment used in reports.
+	Title string
+	// Dataset selects "wiki-vote" or "twitter".
+	Dataset string
+	// Utilities are evaluated in order; Figure 2(a)/(b) sweep γ.
+	Utilities []utility.Function
+	// Epsilons per the figure.
+	Epsilons []float64
+	// TargetFraction per §7.1.
+	TargetFraction float64
+	// DegreePlot marks Figure 2(c), which plots accuracy against degree
+	// instead of a CDF.
+	DegreePlot bool
+}
+
+// PaperFigures returns the full evaluation suite of §7.
+func PaperFigures() []FigureSpec {
+	return []FigureSpec{
+		{
+			ID: "1a", Title: "Accuracy CDF, Wiki vote network, common neighbors",
+			Dataset:   "wiki-vote",
+			Utilities: []utility.Function{utility.CommonNeighbors{}},
+			Epsilons:  []float64{0.5, 1}, TargetFraction: 0.10,
+		},
+		{
+			ID: "1b", Title: "Accuracy CDF, Twitter network, common neighbors",
+			Dataset:   "twitter",
+			Utilities: []utility.Function{utility.CommonNeighbors{}},
+			Epsilons:  []float64{1, 3}, TargetFraction: 0.01,
+		},
+		{
+			ID: "2a", Title: "Accuracy CDF, Wiki vote network, weighted paths, eps=1",
+			Dataset: "wiki-vote",
+			Utilities: []utility.Function{
+				utility.WeightedPaths{Gamma: 0.0005},
+				utility.WeightedPaths{Gamma: 0.05},
+			},
+			Epsilons: []float64{1}, TargetFraction: 0.10,
+		},
+		{
+			ID: "2b", Title: "Accuracy CDF, Twitter network, weighted paths, eps=1",
+			Dataset: "twitter",
+			Utilities: []utility.Function{
+				utility.WeightedPaths{Gamma: 0.0005},
+				utility.WeightedPaths{Gamma: 0.05},
+			},
+			Epsilons: []float64{1}, TargetFraction: 0.01,
+		},
+		{
+			ID: "2c", Title: "Degree vs accuracy, Wiki vote network, common neighbors, eps=0.5",
+			Dataset:   "wiki-vote",
+			Utilities: []utility.Function{utility.CommonNeighbors{}},
+			Epsilons:  []float64{0.5}, TargetFraction: 0.10,
+			DegreePlot: true,
+		},
+	}
+}
+
+// FigureByID returns the spec with the given ID.
+func FigureByID(id string) (FigureSpec, error) {
+	for _, f := range PaperFigures() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return FigureSpec{}, fmt.Errorf("experiment: unknown figure %q", id)
+}
+
+// SuiteOptions controls a full-figure run.
+type SuiteOptions struct {
+	// Scale shrinks synthetic datasets by this factor (1 = paper size).
+	Scale int
+	// MaxTargets caps sampled targets per run (0 = figure default).
+	MaxTargets int
+	// LaplaceTrials enables Laplace Monte-Carlo when > 0.
+	LaplaceTrials int
+	// Seed drives all randomness.
+	Seed int64
+	// WikiVotePath / TwitterPath point at real dataset files when present.
+	WikiVotePath string
+	TwitterPath  string
+}
+
+// LoadDataset resolves a figure's dataset name using the options.
+func (o SuiteOptions) LoadDataset(name string) (dataset.Loaded, error) {
+	scale := o.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	switch name {
+	case "wiki-vote":
+		return dataset.LoadWikiVote(o.WikiVotePath, scale, o.Seed)
+	case "twitter":
+		return dataset.LoadTwitter(o.TwitterPath, scale, o.Seed)
+	default:
+		return dataset.Loaded{}, fmt.Errorf("experiment: unknown dataset %q", name)
+	}
+}
+
+// RunFigure executes one figure spec against a pre-loaded graph and returns
+// the results (one per utility per ε).
+func RunFigure(g *graph.Graph, spec FigureSpec, opts SuiteOptions) ([]Result, error) {
+	var all []Result
+	for _, u := range spec.Utilities {
+		res, err := Run(g, Config{
+			Name:           spec.Dataset,
+			Utility:        u,
+			Epsilons:       spec.Epsilons,
+			TargetFraction: spec.TargetFraction,
+			MaxTargets:     opts.MaxTargets,
+			LaplaceTrials:  opts.LaplaceTrials,
+			Seed:           opts.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: figure %s (%s): %w", spec.ID, u.Name(), err)
+		}
+		all = append(all, res...)
+	}
+	return all, nil
+}
+
+// WriteFigure renders a figure's results in the paper's format: CDF tables
+// for Figures 1(a)-2(b), a degree table for 2(c).
+func WriteFigure(w io.Writer, spec FigureSpec, results []Result) error {
+	title := fmt.Sprintf("Figure %s: %s", spec.ID, spec.Title)
+	if spec.DegreePlot {
+		var series []NamedDegreeSeries
+		for _, r := range results {
+			series = append(series,
+				NamedDegreeSeries{Label: fmt.Sprintf("Exp eps=%g", r.Epsilon), Points: r.DegreeSeries(SeriesExponential)},
+				NamedDegreeSeries{Label: fmt.Sprintf("Bound eps=%g", r.Epsilon), Points: r.DegreeSeries(SeriesBound)},
+			)
+		}
+		return WriteDegreeTable(w, title, series)
+	}
+	var curves []NamedCDF
+	for _, r := range results {
+		label := fmt.Sprintf("Exp eps=%g", r.Epsilon)
+		if len(spec.Utilities) > 1 {
+			label = fmt.Sprintf("Exp %s", r.UtilityName)
+		}
+		curves = append(curves, NamedCDF{Label: label, Points: r.CDF(SeriesExponential)})
+		boundLabel := fmt.Sprintf("Bound eps=%g", r.Epsilon)
+		if len(spec.Utilities) > 1 {
+			boundLabel = fmt.Sprintf("Bound %s", r.UtilityName)
+		}
+		curves = append(curves, NamedCDF{Label: boundLabel, Points: r.CDF(SeriesBound)})
+	}
+	return WriteCDFTable(w, title, curves)
+}

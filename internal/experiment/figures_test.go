@@ -1,0 +1,167 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPaperFiguresComplete(t *testing.T) {
+	figs := PaperFigures()
+	if len(figs) != 5 {
+		t.Fatalf("got %d figures, want 5", len(figs))
+	}
+	ids := map[string]bool{}
+	for _, f := range figs {
+		ids[f.ID] = true
+		if len(f.Utilities) == 0 || len(f.Epsilons) == 0 {
+			t.Errorf("figure %s incomplete", f.ID)
+		}
+		if f.TargetFraction <= 0 {
+			t.Errorf("figure %s target fraction %g", f.ID, f.TargetFraction)
+		}
+	}
+	for _, id := range []string{"1a", "1b", "2a", "2b", "2c"} {
+		if !ids[id] {
+			t.Errorf("figure %s missing", id)
+		}
+	}
+}
+
+func TestPaperFigureParameters(t *testing.T) {
+	f1a, err := FigureByID("1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1a.Dataset != "wiki-vote" || f1a.TargetFraction != 0.10 {
+		t.Errorf("1a = %+v", f1a)
+	}
+	if f1a.Epsilons[0] != 0.5 || f1a.Epsilons[1] != 1 {
+		t.Errorf("1a epsilons = %v", f1a.Epsilons)
+	}
+	f1b, err := FigureByID("1b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1b.Dataset != "twitter" || f1b.TargetFraction != 0.01 {
+		t.Errorf("1b = %+v", f1b)
+	}
+	if f1b.Epsilons[0] != 1 || f1b.Epsilons[1] != 3 {
+		t.Errorf("1b epsilons = %v", f1b.Epsilons)
+	}
+	f2c, err := FigureByID("2c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f2c.DegreePlot {
+		t.Error("2c should be a degree plot")
+	}
+}
+
+func TestFigureByIDUnknown(t *testing.T) {
+	if _, err := FigureByID("9z"); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestSuiteLoadDataset(t *testing.T) {
+	opts := SuiteOptions{Scale: 40, Seed: 1}
+	wv, err := opts.LoadDataset("wiki-vote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wv.Graph.Directed() {
+		t.Error("wiki-vote should be undirected")
+	}
+	tw, err := opts.LoadDataset("twitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tw.Graph.Directed() {
+		t.Error("twitter should be directed")
+	}
+	if _, err := opts.LoadDataset("orkut"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestRunAndWriteFigureEndToEnd(t *testing.T) {
+	opts := SuiteOptions{Scale: 40, Seed: 9, MaxTargets: 25}
+	spec, err := FigureByID("1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := opts.LoadDataset(spec.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunFigure(loaded.Graph, spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 { // two epsilons, one utility
+		t.Fatalf("got %d results", len(results))
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure(&buf, spec, results); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 1a", "Exp eps=0.5", "Bound eps=1", "accuracy<="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAndWriteDegreeFigure(t *testing.T) {
+	opts := SuiteOptions{Scale: 40, Seed: 9, MaxTargets: 30}
+	spec, err := FigureByID("2c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := opts.LoadDataset(spec.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunFigure(loaded.Graph, spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure(&buf, spec, results); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 2c", "degree", "Exp eps=0.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("degree figure missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWeightedPathsFigureLabelsPerUtility(t *testing.T) {
+	opts := SuiteOptions{Scale: 60, Seed: 2, MaxTargets: 15}
+	spec, err := FigureByID("2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := opts.LoadDataset(spec.Dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunFigure(loaded.Graph, spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 { // two gammas, one epsilon
+		t.Fatalf("got %d results", len(results))
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure(&buf, spec, results); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "gamma=0.0005") || !strings.Contains(buf.String(), "gamma=0.05") {
+		t.Errorf("per-gamma labels missing:\n%s", buf.String())
+	}
+}

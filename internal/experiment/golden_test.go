@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"socialrec/internal/stats"
+	"socialrec/internal/utility"
+)
+
+// Golden tests: the rendering layer is what operators read, so its exact
+// layout is pinned. Update the constants deliberately when changing format.
+
+const goldenCDFTable = `Figure G: demo
+accuracy<=          Exp eps=1           Bound eps=1
+0.0                   0.0%                0.0%
+0.5                  50.0%               25.0%
+1.0                 100.0%              100.0%
+`
+
+func TestWriteCDFTableGolden(t *testing.T) {
+	curves := []NamedCDF{
+		{Label: "Exp eps=1", Points: []stats.CDFPoint{
+			{X: 0, Fraction: 0}, {X: 0.5, Fraction: 0.5}, {X: 1, Fraction: 1},
+		}},
+		{Label: "Bound eps=1", Points: []stats.CDFPoint{
+			{X: 0, Fraction: 0}, {X: 0.5, Fraction: 0.25}, {X: 1, Fraction: 1},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCDFTable(&buf, "Figure G: demo", curves); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != goldenCDFTable {
+		t.Errorf("table layout drifted:\ngot:\n%q\nwant:\n%q", got, goldenCDFTable)
+	}
+}
+
+const goldenDegreeTable = `Figure D: demo
+degree              Exp
+1                   0.100
+10                  0.800
+`
+
+func TestWriteDegreeTableGolden(t *testing.T) {
+	series := []NamedDegreeSeries{
+		{Label: "Exp", Points: []stats.GroupPoint{
+			{Key: 1, Mean: 0.1, Count: 4}, {Key: 10, Mean: 0.8, Count: 2},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := WriteDegreeTable(&buf, "Figure D: demo", series); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != goldenDegreeTable {
+		t.Errorf("table layout drifted:\ngot:\n%q\nwant:\n%q", got, goldenDegreeTable)
+	}
+}
+
+// TestFullRunDeterministicRendering: two identical runs must render
+// byte-identically — the reproducibility guarantee recbench relies on.
+func TestFullRunDeterministicRendering(t *testing.T) {
+	g := testGraph(t)
+	render := func() string {
+		results, err := Run(g, Config{
+			Name: "det", Utility: utility.CommonNeighbors{}, Epsilons: []float64{1},
+			TargetFraction: 0.1, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		curves := []NamedCDF{{Label: "Exp", Points: results[0].CDF(SeriesExponential)}}
+		if err := WriteCDFTable(&buf, "t", curves); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render() != render() {
+		t.Error("identical runs rendered differently")
+	}
+}

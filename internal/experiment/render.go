@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"socialrec/internal/stats"
+)
+
+// NamedCDF is one labeled curve of a figure.
+type NamedCDF struct {
+	Label  string
+	Points []stats.CDFPoint
+}
+
+// WriteCDFTable renders the curves of one figure as an aligned text table
+// mirroring the paper's plots: rows are the accuracy grid (x-axis), columns
+// are the percent of nodes receiving recommendations with accuracy <= x.
+func WriteCDFTable(w io.Writer, title string, curves []NamedCDF) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	header := []string{"accuracy<="}
+	for _, c := range curves {
+		header = append(header, c.Label)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(pad(header), "  ")); err != nil {
+		return err
+	}
+	if len(curves) == 0 {
+		return nil
+	}
+	for i, pt := range curves[0].Points {
+		row := []string{fmt.Sprintf("%.1f", pt.X)}
+		for _, c := range curves {
+			if i < len(c.Points) {
+				row = append(row, fmt.Sprintf("%5.1f%%", 100*c.Points[i].Fraction))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(pad(row), "  ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NamedDegreeSeries is one labeled degree-vs-accuracy curve (Figure 2(c)).
+type NamedDegreeSeries struct {
+	Label  string
+	Points []stats.GroupPoint
+}
+
+// WriteDegreeTable renders degree-vs-mean-accuracy curves: rows are
+// log-scale degree buckets, columns are the mean accuracy in that bucket.
+func WriteDegreeTable(w io.Writer, title string, series []NamedDegreeSeries) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	// Union of buckets, ascending.
+	bucketSet := map[int]struct{}{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			bucketSet[p.Key] = struct{}{}
+		}
+	}
+	buckets := make([]int, 0, len(bucketSet))
+	for b := range bucketSet {
+		buckets = append(buckets, b)
+	}
+	sortInts(buckets)
+
+	header := []string{"degree"}
+	for _, s := range series {
+		header = append(header, s.Label)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(pad(header), "  ")); err != nil {
+		return err
+	}
+	for _, b := range buckets {
+		row := []string{fmt.Sprintf("%d", b)}
+		for _, s := range series {
+			val := "-"
+			for _, p := range s.Points {
+				if p.Key == b {
+					val = fmt.Sprintf("%.3f", p.Mean)
+					break
+				}
+			}
+			row = append(row, val)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(pad(row), "  ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pad left-aligns each cell to a fixed column width; the final cell is left
+// untouched so rows carry no trailing whitespace.
+func pad(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		if i == len(cells)-1 {
+			out[i] = c
+			continue
+		}
+		out[i] = fmt.Sprintf("%-18s", c)
+	}
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Summary returns a one-paragraph digest of a result: the fraction of
+// targets below a few accuracy thresholds for the mechanism and the bound —
+// the numbers quoted in §7.2's prose.
+func (r *Result) Summary() string {
+	exp := r.Accuracies(SeriesExponential)
+	bound := r.Accuracies(SeriesBound)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s / %s / eps=%g: %d targets (%d skipped)\n",
+		r.Name, r.UtilityName, r.Epsilon, len(r.Targets), r.Skipped)
+	for _, thr := range []float64{0.01, 0.1, 0.3, 0.5, 0.9} {
+		fmt.Fprintf(&b, "  accuracy <= %-4g  exponential %5.1f%%   bound %5.1f%%\n",
+			thr, 100*stats.FractionLE(exp, thr), 100*stats.FractionLE(bound, thr))
+	}
+	return b.String()
+}

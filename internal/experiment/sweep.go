@@ -1,0 +1,166 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"socialrec/internal/bounds"
+	"socialrec/internal/distribution"
+	"socialrec/internal/graph"
+	"socialrec/internal/mechanism"
+	"socialrec/internal/utility"
+)
+
+// Epsilon sweep: an ablation the paper's figures imply but never plot
+// directly — for fixed degree classes, how does mean accuracy (mechanism
+// and ceiling) grow with ε? It makes the "crossover" visible: the ε at
+// which each connectivity class first becomes serviceable, complementing
+// Figure 2(c)'s fixed-ε degree axis.
+
+// DegreeClass is a half-open degree interval [Lo, Hi).
+type DegreeClass struct {
+	Label  string
+	Lo, Hi int
+}
+
+// DefaultDegreeClasses splits targets into the paper's qualitative tiers.
+func DefaultDegreeClasses() []DegreeClass {
+	return []DegreeClass{
+		{Label: "leaf (1-3)", Lo: 1, Hi: 4},
+		{Label: "low (4-10)", Lo: 4, Hi: 11},
+		{Label: "mid (11-50)", Lo: 11, Hi: 51},
+		{Label: "hub (51+)", Lo: 51, Hi: 1 << 30},
+	}
+}
+
+// SweepPoint is one (ε, degree class) cell of the sweep.
+type SweepPoint struct {
+	Epsilon       float64
+	Class         string
+	Targets       int
+	MeanAccuracy  float64 // exponential mechanism, closed form
+	MeanCeiling   float64 // Corollary 1 ceiling with exact t
+	ServiceableAt float64 // fraction of class targets with ceiling >= 0.5
+}
+
+// SweepConfig configures RunEpsilonSweep.
+type SweepConfig struct {
+	Utility        utility.Function
+	Epsilons       []float64
+	Classes        []DegreeClass
+	TargetFraction float64
+	MaxTargets     int
+	Seed           int64
+}
+
+// RunEpsilonSweep evaluates mean accuracy and ceiling per (ε, degree class).
+func RunEpsilonSweep(g *graph.Graph, cfg SweepConfig) ([]SweepPoint, error) {
+	if cfg.Utility == nil || len(cfg.Epsilons) == 0 {
+		return nil, fmt.Errorf("%w: utility and epsilons required", ErrConfig)
+	}
+	if len(cfg.Classes) == 0 {
+		cfg.Classes = DefaultDegreeClasses()
+	}
+	if cfg.TargetFraction == 0 {
+		cfg.TargetFraction = 0.1
+	}
+	snap := g.Snapshot()
+	sens := cfg.Utility.Sensitivity(snap)
+	targets := SampleTargets(g.NumNodes(), cfg.TargetFraction, cfg.MaxTargets, distribution.Split(cfg.Seed, "sweep-targets"))
+
+	type cell struct {
+		acc, ceil, ok float64
+		n             int
+	}
+	cells := make(map[string]*cell) // key: eps|class
+	key := func(eps float64, class string) string { return fmt.Sprintf("%g|%s", eps, class) }
+
+	for _, r := range targets {
+		deg := snap.OutDegree(r)
+		var class string
+		for _, c := range cfg.Classes {
+			if deg >= c.Lo && deg < c.Hi {
+				class = c.Label
+				break
+			}
+		}
+		if class == "" {
+			continue
+		}
+		full, err := cfg.Utility.Vector(snap, r)
+		if err != nil {
+			return nil, err
+		}
+		vec := utility.Compact(full, utility.Candidates(snap, r))
+		umax := utility.Max(vec)
+		if umax == 0 {
+			continue
+		}
+		t := cfg.Utility.RewireCount(umax, deg)
+		for _, eps := range cfg.Epsilons {
+			acc, err := mechanism.ExpectedAccuracy(mechanism.Exponential{Epsilon: eps, Sensitivity: sens}, vec)
+			if err != nil {
+				return nil, err
+			}
+			ceil, err := bounds.TightestAccuracyBound(vec, eps, t)
+			if err != nil {
+				return nil, err
+			}
+			c := cells[key(eps, class)]
+			if c == nil {
+				c = &cell{}
+				cells[key(eps, class)] = c
+			}
+			c.acc += acc
+			c.ceil += ceil
+			if ceil >= 0.5 {
+				c.ok++
+			}
+			c.n++
+		}
+	}
+
+	var out []SweepPoint
+	for _, eps := range cfg.Epsilons {
+		for _, cl := range cfg.Classes {
+			c := cells[key(eps, cl.Label)]
+			if c == nil || c.n == 0 {
+				continue
+			}
+			out = append(out, SweepPoint{
+				Epsilon:       eps,
+				Class:         cl.Label,
+				Targets:       c.n,
+				MeanAccuracy:  c.acc / float64(c.n),
+				MeanCeiling:   c.ceil / float64(c.n),
+				ServiceableAt: c.ok / float64(c.n),
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Epsilon != out[j].Epsilon {
+			return out[i].Epsilon < out[j].Epsilon
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out, nil
+}
+
+// WriteSweepTable renders the sweep as an aligned text table.
+func WriteSweepTable(w io.Writer, title string, points []SweepPoint) error {
+	if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %-14s %-8s %-12s %-12s %-14s\n",
+		"eps", "class", "targets", "mean acc", "mean ceil", "%ceil>=0.5"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%-8g %-14s %-8d %-12.4f %-12.4f %-14.1f\n",
+			p.Epsilon, p.Class, p.Targets, p.MeanAccuracy, p.MeanCeiling, 100*p.ServiceableAt); err != nil {
+			return err
+		}
+	}
+	return nil
+}

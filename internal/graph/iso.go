@@ -1,0 +1,80 @@
+package graph
+
+import "fmt"
+
+// Relabel returns a new graph in which node v of g becomes node perm[v].
+// perm must be a permutation of 0..NumNodes-1; otherwise an error is
+// returned. Relabel realizes the isomorphism h of the exchangeability axiom
+// (Axiom 1): utility functions defined purely on graph structure must assign
+// u_{h(i)} on Relabel(g, h) equal to u_i on g whenever h fixes the target.
+func (g *Graph) Relabel(perm []int) (*Graph, error) {
+	n := len(g.out)
+	if len(perm) != n {
+		return nil, fmt.Errorf("graph: permutation length %d != %d nodes", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("graph: permutation value %d out of range", p)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("graph: permutation value %d repeated", p)
+		}
+		seen[p] = true
+	}
+	var h *Graph
+	if g.directed {
+		h = NewDirected(n)
+	} else {
+		h = New(n)
+	}
+	for u := range g.out {
+		for v := range g.out[u] {
+			if !g.directed && perm[v] < perm[u] {
+				continue // add each undirected edge once
+			}
+			if g.directed || !h.HasEdge(perm[u], perm[v]) {
+				if err := h.AddEdge(perm[u], perm[v]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return h, nil
+}
+
+// EditDistanceTo returns the number of single-edge additions and removals
+// needed to transform g into h (graphs over the same node set and
+// directedness). It is the Hamming distance between edge sets — the quantity
+// that edge differential privacy composes over, and the "t" of the
+// lower-bound lemmas when h is the rewired graph.
+func (g *Graph) EditDistanceTo(h *Graph) (int, error) {
+	if g.directed != h.directed {
+		return 0, fmt.Errorf("graph: directedness mismatch")
+	}
+	if len(g.out) != len(h.out) {
+		return 0, fmt.Errorf("graph: node count mismatch %d vs %d", len(g.out), len(h.out))
+	}
+	dist := 0
+	for u := range g.out {
+		for v := range g.out[u] {
+			if !g.directed && v < u {
+				continue
+			}
+			if !h.HasEdge(u, v) {
+				dist++ // removal needed
+			}
+		}
+	}
+	for u := range h.out {
+		for v := range h.out[u] {
+			if !h.directed && v < u {
+				continue
+			}
+			if !g.HasEdge(u, v) {
+				dist++ // addition needed
+			}
+		}
+	}
+	return dist, nil
+}

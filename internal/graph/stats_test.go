@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(New(0))
+	if s.Nodes != 0 || s.Components != 0 || s.LargestComp != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestComputeStatsPathPlusIsolated(t *testing.T) {
+	// Path 0-1-2 plus isolated nodes 3 and 4.
+	g := New(5)
+	mustAdd(t, g, [2]int{0, 1}, [2]int{1, 2})
+	s := ComputeStats(g)
+	if s.Nodes != 5 || s.Edges != 2 {
+		t.Errorf("shape: %+v", s)
+	}
+	if s.Components != 3 || s.LargestComp != 3 {
+		t.Errorf("components: %+v", s)
+	}
+	if s.Isolated != 2 || s.MinDegree != 0 || s.MaxDegree != 2 {
+		t.Errorf("degrees: %+v", s)
+	}
+	if math.Abs(s.MeanDegree-0.8) > 1e-12 {
+		t.Errorf("mean degree %g", s.MeanDegree)
+	}
+	if s.DegreeLE3Share != 1 {
+		t.Errorf("le3 share %g", s.DegreeLE3Share)
+	}
+}
+
+func TestComputeStatsDirectedWeakComponents(t *testing.T) {
+	// 0 -> 1, 2 -> 1: weakly one component despite no directed path 0..2.
+	g := NewDirected(3)
+	mustAdd(t, g, [2]int{0, 1}, [2]int{2, 1})
+	s := ComputeStats(g)
+	if s.Components != 1 || s.LargestComp != 3 {
+		t.Errorf("weak components: %+v", s)
+	}
+	if !s.Directed {
+		t.Error("directedness lost")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	g := New(3)
+	mustAdd(t, g, [2]int{0, 1})
+	out := ComputeStats(g).String()
+	for _, want := range []string{"undirected", "n=3", "m=1", "comps=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestPropertyStatsConsistent(t *testing.T) {
+	err := quick.Check(func(seed int64, directedFlag bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 2+rng.Intn(25), directedFlag, 0.15)
+		s := ComputeStats(g)
+		if s.LargestComp > s.Nodes || s.Components < 1 || s.LargestComp < 1 {
+			return false
+		}
+		// Component sizes can't exceed nodes and isolated nodes are
+		// singleton components.
+		if s.Isolated > s.Components {
+			return false
+		}
+		if s.MinDegree > s.MedianDegree || s.MedianDegree > s.MaxDegree {
+			return false
+		}
+		if s.MeanDegree < float64(s.MinDegree) || s.MeanDegree > float64(s.MaxDegree) {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 80})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package mechanism
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"socialrec/internal/distribution"
+)
+
+func TestGumbelMaxValidation(t *testing.T) {
+	rng := distribution.NewRNG(1)
+	if _, err := (GumbelMax{Epsilon: 0, Sensitivity: 1}).Recommend([]float64{1}, rng); !errors.Is(err, ErrBadEpsilon) {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := (GumbelMax{Epsilon: 1, Sensitivity: 0}).Recommend([]float64{1}, rng); !errors.Is(err, ErrBadSens) {
+		t.Error("sens=0 accepted")
+	}
+	if _, err := (GumbelMax{Epsilon: 1, Sensitivity: 1}).Recommend(nil, rng); !errors.Is(err, ErrEmpty) {
+		t.Error("empty accepted")
+	}
+}
+
+// TestGumbelMaxEquivalentToExponential is the Gumbel-max trick verified
+// empirically: the sampling frequencies of GumbelMax must match the
+// Exponential mechanism's closed-form probabilities.
+func TestGumbelMaxEquivalentToExponential(t *testing.T) {
+	u := []float64{0, 1, 2.5, 4}
+	const eps, sens = 1.2, 2.0
+	gm := GumbelMax{Epsilon: eps, Sensitivity: sens}
+	want, err := (Exponential{Epsilon: eps, Sensitivity: sens}).Probabilities(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := distribution.NewRNG(9)
+	counts := make([]int, len(u))
+	const n = 300000
+	for i := 0; i < n; i++ {
+		idx, err := gm.Recommend(u, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	for i := range want {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want[i]) > 0.005 {
+			t.Errorf("p[%d]: empirical %g vs exponential %g", i, got, want[i])
+		}
+	}
+}
+
+func TestGumbelMaxProbabilitiesDelegate(t *testing.T) {
+	u := []float64{1, 3}
+	gp, err := (GumbelMax{Epsilon: 1, Sensitivity: 1}).Probabilities(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := (Exponential{Epsilon: 1, Sensitivity: 1}).Probabilities(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gp {
+		if gp[i] != ep[i] {
+			t.Errorf("probabilities differ at %d", i)
+		}
+	}
+}
+
+func TestGumbelMaxExpectedAccuracyMatchesExponential(t *testing.T) {
+	u := []float64{0, 0, 1, 5}
+	gm := GumbelMax{Epsilon: 0.8, Sensitivity: 2}
+	exact, err := ExpectedAccuracy(gm, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MonteCarloAccuracy(gm, u, 100000, distribution.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact-mc) > 0.01 {
+		t.Errorf("closed form %g vs sampled %g", exact, mc)
+	}
+}

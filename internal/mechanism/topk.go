@@ -1,0 +1,137 @@
+package mechanism
+
+import (
+	"fmt"
+	"math/rand"
+
+	"socialrec/internal/distribution"
+)
+
+// Multiple recommendations (the Appendix A extension). The paper notes that
+// its single-recommendation lower bounds imply strictly stronger negative
+// results for multiple recommendations; these mechanisms are the standard
+// private constructions for releasing k candidates.
+
+// TopKLaplace returns k distinct candidate indices by adding Laplace(Δf/ε)
+// noise to every utility once and taking the k largest noisy values. The
+// noisy vector is a single ε-differentially private histogram release, and
+// selecting its top k is post-processing, so the WHOLE k-set is ε-private —
+// no per-recommendation budget split is needed. Results are ordered by
+// decreasing noisy utility.
+func TopKLaplace(eps, sens float64, u []float64, k int, rng *rand.Rand) ([]int, error) {
+	if !(eps > 0) {
+		return nil, ErrBadEpsilon
+	}
+	if !(sens > 0) {
+		return nil, ErrBadSens
+	}
+	if err := validate(u); err != nil {
+		return nil, err
+	}
+	if k < 1 || k > len(u) {
+		return nil, fmt.Errorf("mechanism: top-k k=%d outside [1, %d]", k, len(u))
+	}
+	noise := distribution.Laplace{Loc: 0, Scale: sens / eps}
+	noisy := make([]float64, len(u))
+	for i, x := range u {
+		noisy[i] = x + noise.Sample(rng)
+	}
+	return topIndices(noisy, k), nil
+}
+
+// TopKPeel returns k distinct candidate indices by running the exponential
+// mechanism k times without replacement ("peeling"), each round with budget
+// ε/k. By sequential composition the full k-set is ε-differentially
+// private. Results are in selection order.
+func TopKPeel(eps, sens float64, u []float64, k int, rng *rand.Rand) ([]int, error) {
+	if !(eps > 0) {
+		return nil, ErrBadEpsilon
+	}
+	if !(sens > 0) {
+		return nil, ErrBadSens
+	}
+	if err := validate(u); err != nil {
+		return nil, err
+	}
+	if k < 1 || k > len(u) {
+		return nil, fmt.Errorf("mechanism: top-k k=%d outside [1, %d]", k, len(u))
+	}
+	round := Exponential{Epsilon: eps / float64(k), Sensitivity: sens}
+	remaining := make([]float64, len(u))
+	copy(remaining, u)
+	alive := make([]int, len(u)) // alive[i] = original index at compact slot i
+	for i := range alive {
+		alive[i] = i
+	}
+	out := make([]int, 0, k)
+	for len(out) < k {
+		idx, err := round.Recommend(remaining, rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, alive[idx])
+		// Remove the chosen slot by swapping with the last.
+		last := len(remaining) - 1
+		remaining[idx], remaining[last] = remaining[last], remaining[idx]
+		alive[idx], alive[last] = alive[last], alive[idx]
+		remaining = remaining[:last]
+		alive = alive[:last]
+	}
+	return out, nil
+}
+
+// topIndices returns the indices of the k largest values in xs, ordered by
+// decreasing value. Selection is O(n·k), fine for the small k of
+// recommendation lists.
+func topIndices(xs []float64, k int) []int {
+	chosen := make([]bool, len(xs))
+	out := make([]int, 0, k)
+	for len(out) < k {
+		best := -1
+		for i, x := range xs {
+			if chosen[i] {
+				continue
+			}
+			if best < 0 || x > xs[best] {
+				best = i
+			}
+		}
+		chosen[best] = true
+		out = append(out, best)
+	}
+	return out
+}
+
+// SetAccuracy returns the accuracy of a k-recommendation set under the
+// natural extension of Definition 2: the sum of the chosen candidates'
+// utilities divided by the k largest utilities' sum (what the non-private
+// top-k recommender attains).
+func SetAccuracy(u []float64, chosen []int) (float64, error) {
+	if err := validate(u); err != nil {
+		return 0, err
+	}
+	if len(chosen) == 0 || len(chosen) > len(u) {
+		return 0, fmt.Errorf("mechanism: set accuracy needs 1..%d choices, got %d", len(u), len(chosen))
+	}
+	ideal := topIndices(u, len(chosen))
+	var idealSum float64
+	for _, i := range ideal {
+		idealSum += u[i]
+	}
+	if idealSum == 0 {
+		return 0, ErrNoCandidates
+	}
+	var got float64
+	seen := make(map[int]bool, len(chosen))
+	for _, i := range chosen {
+		if i < 0 || i >= len(u) {
+			return 0, fmt.Errorf("mechanism: chosen index %d out of range", i)
+		}
+		if seen[i] {
+			return 0, fmt.Errorf("mechanism: chosen index %d repeated", i)
+		}
+		seen[i] = true
+		got += u[i]
+	}
+	return got / idealSum, nil
+}

@@ -1,0 +1,208 @@
+package mechanism
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"socialrec/internal/distribution"
+)
+
+func TestTopKLaplaceBasics(t *testing.T) {
+	u := []float64{0, 10, 0, 9, 0, 8}
+	rng := distribution.NewRNG(1)
+	got, err := TopKLaplace(50, 1, u, 3, rng) // huge eps: effectively exact
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	want := map[int]bool{1: true, 3: true, 5: true}
+	for _, i := range got {
+		if !want[i] {
+			t.Errorf("at eps=50 top-3 should be {1,3,5}, got %v", got)
+		}
+	}
+	// Ordered by decreasing noisy utility: at eps=50 that's exact order.
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("order = %v, want [1 3 5]", got)
+	}
+}
+
+func TestTopKLaplaceDistinct(t *testing.T) {
+	u := []float64{1, 2, 3, 4, 5}
+	rng := distribution.NewRNG(2)
+	for trial := 0; trial < 200; trial++ {
+		got, err := TopKLaplace(0.5, 1, u, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		for _, i := range got {
+			if seen[i] {
+				t.Fatalf("duplicate index in %v", got)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestTopKPeelBasics(t *testing.T) {
+	u := []float64{0, 10, 0, 9}
+	rng := distribution.NewRNG(3)
+	got, err := TopKPeel(200, 1, u, 2, rng) // eps/k = 100: effectively exact
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("got %v, want [1 3]", got)
+	}
+}
+
+func TestTopKPeelDistinctAndComplete(t *testing.T) {
+	u := []float64{1, 2, 3}
+	rng := distribution.NewRNG(4)
+	got, err := TopKPeel(1, 1, u, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, i := range got {
+		seen[i] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("k=n peel should return all indices, got %v", got)
+	}
+}
+
+func TestTopKValidation(t *testing.T) {
+	rng := distribution.NewRNG(5)
+	u := []float64{1, 2}
+	if _, err := TopKLaplace(0, 1, u, 1, rng); !errors.Is(err, ErrBadEpsilon) {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := TopKPeel(1, 0, u, 1, rng); !errors.Is(err, ErrBadSens) {
+		t.Error("sens=0 accepted")
+	}
+	if _, err := TopKLaplace(1, 1, u, 0, rng); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := TopKPeel(1, 1, u, 3, rng); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := TopKLaplace(1, 1, nil, 1, rng); !errors.Is(err, ErrEmpty) {
+		t.Error("empty u accepted")
+	}
+}
+
+func TestTopKPeelDoesNotMutateInput(t *testing.T) {
+	u := []float64{5, 4, 3, 2, 1}
+	rng := distribution.NewRNG(6)
+	if _, err := TopKPeel(1, 1, u, 3, rng); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{5, 4, 3, 2, 1} {
+		if u[i] != want {
+			t.Fatalf("input mutated: %v", u)
+		}
+	}
+}
+
+func TestSetAccuracyExact(t *testing.T) {
+	u := []float64{1, 5, 3, 4}
+	// Ideal top-2 = {1, 3} with sum 9; chosen {1, 2} has sum 8.
+	acc, err := SetAccuracy(u, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc-8.0/9) > 1e-12 {
+		t.Errorf("accuracy = %g, want 8/9", acc)
+	}
+	perfect, err := SetAccuracy(u, []int{1, 3})
+	if err != nil || perfect != 1 {
+		t.Errorf("ideal set accuracy = %g, %v", perfect, err)
+	}
+}
+
+func TestSetAccuracyValidation(t *testing.T) {
+	u := []float64{1, 2}
+	if _, err := SetAccuracy(u, nil); err == nil {
+		t.Error("empty choice accepted")
+	}
+	if _, err := SetAccuracy(u, []int{0, 0}); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if _, err := SetAccuracy(u, []int{7}); err == nil {
+		t.Error("out of range accepted")
+	}
+	if _, err := SetAccuracy([]float64{0, 0}, []int{0}); !errors.Is(err, ErrNoCandidates) {
+		t.Error("all-zero utilities should yield ErrNoCandidates")
+	}
+}
+
+// TestTopKAccuracyDegradesWithK reproduces the Appendix A remark that
+// multiple recommendations face strictly harsher trade-offs: at fixed ε,
+// peeling spreads the budget and per-set accuracy falls as k grows.
+func TestTopKAccuracyDegradesWithK(t *testing.T) {
+	u := make([]float64, 200)
+	u[3], u[11], u[42], u[99] = 10, 9, 8, 7
+	const eps = 2.0
+	rng := distribution.NewRNG(7)
+	meanAcc := func(k int) float64 {
+		var sum float64
+		const trials = 300
+		for i := 0; i < trials; i++ {
+			got, err := TopKPeel(eps, 2, u, k, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc, err := SetAccuracy(u, got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += acc
+		}
+		return sum / trials
+	}
+	a1 := meanAcc(1)
+	a4 := meanAcc(4)
+	if !(a1 > a4) {
+		t.Errorf("k=1 accuracy %g should exceed k=4 accuracy %g at fixed eps", a1, a4)
+	}
+}
+
+// TestTopKLaplaceBeatsPeelOnBudget: the one-shot Laplace release does not
+// split ε across picks, so for multi-recommendations at the same total ε it
+// should (on average) match or beat peeling on these inputs.
+func TestTopKLaplaceBeatsPeelOnBudget(t *testing.T) {
+	u := make([]float64, 100)
+	u[3], u[11], u[42] = 10, 9, 8
+	const eps, k = 1.0, 3
+	rng := distribution.NewRNG(8)
+	const trials = 400
+	var lapSum, peelSum float64
+	for i := 0; i < trials; i++ {
+		lap, err := TopKLaplace(eps, 2, u, k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peel, err := TopKPeel(eps, 2, u, k, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		la, err := SetAccuracy(u, lap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa, err := SetAccuracy(u, peel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lapSum += la
+		peelSum += pa
+	}
+	if lapSum < peelSum*0.9 {
+		t.Errorf("laplace top-k mean %g unexpectedly far below peel %g", lapSum/trials, peelSum/trials)
+	}
+}

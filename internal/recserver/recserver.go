@@ -1,0 +1,251 @@
+// Package recserver exposes a differentially private social recommender
+// over HTTP. It is the deployment shell around the socialrec public API:
+// JSON endpoints for recommendations, top-k lists, and privacy audits, with
+// a global privacy-budget accountant so that a deployment cannot silently
+// answer unlimited queries (differential privacy composes additively; see
+// socialrec.Accountant).
+//
+// Privacy posture: responses never include utility scores — only node IDs.
+// Returning the (non-private) utility of the recommended candidate would
+// leak exactly the information the mechanism's noise is protecting. Audit
+// endpoints return theoretical quantities (ceilings, floors) that depend on
+// the target's own degree and the public ε, plus the mechanism's expected
+// accuracy, which is intended for the graph operator, not end users; deploy
+// /audit behind operator authentication.
+package recserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"socialrec"
+)
+
+// Config assembles a server.
+type Config struct {
+	// Recommender is the configured private recommender (required).
+	Recommender *socialrec.Recommender
+	// TotalEpsilon is the global privacy budget; once spent, /recommend
+	// returns 429. Zero disables budgeting (NOT recommended; provided for
+	// load testing only).
+	TotalEpsilon float64
+	// MaxK caps top-k list sizes; 0 means 10.
+	MaxK int
+	// Logf receives request logs; nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Server handles recommendation requests. Create with New; safe for
+// concurrent use.
+type Server struct {
+	rec    *socialrec.Recommender
+	acct   *socialrec.Accountant
+	maxK   int
+	logf   func(format string, args ...any)
+	routes *http.ServeMux
+}
+
+// New validates the config and builds the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Recommender == nil {
+		return nil, errors.New("recserver: recommender is required")
+	}
+	s := &Server{
+		rec:  cfg.Recommender,
+		maxK: cfg.MaxK,
+		logf: cfg.Logf,
+	}
+	if s.maxK == 0 {
+		s.maxK = 10
+	}
+	if s.logf == nil {
+		s.logf = log.Printf
+	}
+	if cfg.TotalEpsilon > 0 {
+		acct, err := socialrec.NewAccountant(cfg.Recommender, cfg.TotalEpsilon)
+		if err != nil {
+			return nil, fmt.Errorf("recserver: %w", err)
+		}
+		s.acct = acct
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/recommend", s.handleRecommend)
+	mux.HandleFunc("GET /v1/audit", s.handleAudit)
+	mux.HandleFunc("GET /v1/budget", s.handleBudget)
+	s.routes = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.routes.ServeHTTP(w, r)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.logf("recserver: encoding response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, errorBody{Error: msg})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) targetParam(r *http.Request) (int, error) {
+	raw := r.URL.Query().Get("target")
+	if raw == "" {
+		return 0, errors.New("missing ?target parameter")
+	}
+	target, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("invalid target %q", raw)
+	}
+	return target, nil
+}
+
+// recommendResponse deliberately excludes utilities; see the package
+// comment.
+type recommendResponse struct {
+	Target  int     `json:"target"`
+	Nodes   []int   `json:"nodes"`
+	Epsilon float64 `json:"epsilon_spent"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	target, err := s.targetParam(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	k := 1
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		k, err = strconv.Atoi(raw)
+		if err != nil || k < 1 {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid k %q", raw))
+			return
+		}
+		if k > s.maxK {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf("k %d exceeds limit %d", k, s.maxK))
+			return
+		}
+	}
+
+	var nodes []int
+	if k == 1 {
+		rec, err := s.recommendOne(target)
+		if err != nil {
+			s.writeRecommendError(w, err)
+			return
+		}
+		nodes = []int{rec.Node}
+	} else {
+		recs, err := s.recommendTopK(target, k)
+		if err != nil {
+			s.writeRecommendError(w, err)
+			return
+		}
+		for _, rec := range recs {
+			nodes = append(nodes, rec.Node)
+		}
+	}
+	s.writeJSON(w, http.StatusOK, recommendResponse{Target: target, Nodes: nodes, Epsilon: s.rec.Epsilon()})
+}
+
+func (s *Server) recommendOne(target int) (socialrec.Recommendation, error) {
+	if s.acct != nil {
+		return s.acct.Recommend(target)
+	}
+	return s.rec.Recommend(target)
+}
+
+func (s *Server) recommendTopK(target, k int) ([]socialrec.Recommendation, error) {
+	if s.acct != nil {
+		return s.acct.RecommendTopK(target, k)
+	}
+	return s.rec.RecommendTopK(target, k)
+}
+
+func (s *Server) writeRecommendError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, socialrec.ErrBudgetExhausted):
+		s.writeError(w, http.StatusTooManyRequests, "privacy budget exhausted")
+	case errors.Is(err, socialrec.ErrBadTarget):
+		s.writeError(w, http.StatusNotFound, "unknown target node")
+	case errors.Is(err, socialrec.ErrNoCandidates):
+		s.writeError(w, http.StatusUnprocessableEntity, "target has no recommendable candidates")
+	default:
+		s.logf("recserver: recommend: %v", err)
+		s.writeError(w, http.StatusInternalServerError, "internal error")
+	}
+}
+
+type auditResponse struct {
+	Target           int     `json:"target"`
+	Epsilon          float64 `json:"epsilon"`
+	ExpectedAccuracy float64 `json:"expected_accuracy"`
+	AccuracyCeiling  float64 `json:"accuracy_ceiling"`
+	EpsilonFloor     float64 `json:"epsilon_floor,omitempty"`
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	target, err := s.targetParam(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	acc, err := s.rec.ExpectedAccuracy(target)
+	if err != nil {
+		s.writeRecommendError(w, err)
+		return
+	}
+	ceiling, err := s.rec.AccuracyCeiling(target)
+	if err != nil {
+		s.writeRecommendError(w, err)
+		return
+	}
+	resp := auditResponse{
+		Target:           target,
+		Epsilon:          s.rec.Epsilon(),
+		ExpectedAccuracy: acc,
+		AccuracyCeiling:  ceiling,
+	}
+	// The audit is theoretical: it consumes no budget (it reveals only the
+	// target's own degree structure, which the relaxed privacy definition
+	// leaves unprotected, plus public parameters).
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+type budgetResponse struct {
+	Total     float64 `json:"total"`
+	Spent     float64 `json:"spent"`
+	Remaining float64 `json:"remaining"`
+	Calls     int     `json:"calls"`
+}
+
+func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
+	if s.acct == nil {
+		s.writeError(w, http.StatusNotFound, "budgeting disabled")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, budgetResponse{
+		Total:     s.acct.Total(),
+		Spent:     s.acct.Spent(),
+		Remaining: s.acct.Remaining(),
+		Calls:     len(s.acct.Ledger()),
+	})
+}

@@ -1,0 +1,230 @@
+package recserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"socialrec"
+)
+
+func testServer(t *testing.T, budget float64) (*Server, *socialrec.Graph, int) {
+	t.Helper()
+	g, err := socialrec.GenerateSocialGraph(400, 3000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := socialrec.NewRecommender(g, socialrec.WithEpsilon(1), socialrec.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Recommender:  rec,
+		TotalEpsilon: budget,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a servable target.
+	target := -1
+	for v := 0; v < g.NumNodes(); v++ {
+		if _, err := rec.ExpectedAccuracy(v); err == nil {
+			target = v
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no servable target")
+	}
+	return srv, g, target
+}
+
+func get(t *testing.T, srv http.Handler, path string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	var body map[string]any
+	if len(w.Body.Bytes()) > 0 {
+		if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s: invalid JSON %q: %v", path, w.Body.String(), err)
+		}
+	}
+	return w, body
+}
+
+func TestHealth(t *testing.T) {
+	srv, _, _ := testServer(t, 100)
+	w, body := get(t, srv, "/healthz")
+	if w.Code != http.StatusOK || body["status"] != "ok" {
+		t.Errorf("health = %d %v", w.Code, body)
+	}
+}
+
+func TestRecommendSingle(t *testing.T) {
+	srv, g, target := testServer(t, 100)
+	w, body := get(t, srv, "/v1/recommend?target="+itoa(target))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", w.Code, body)
+	}
+	nodes := body["nodes"].([]any)
+	if len(nodes) != 1 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	node := int(nodes[0].(float64))
+	if node == target || g.HasEdge(target, node) {
+		t.Errorf("recommended self/neighbor %d", node)
+	}
+	// Privacy posture: no utility fields in the response.
+	if _, leaked := body["utility"]; leaked {
+		t.Error("response leaks utility")
+	}
+}
+
+func TestRecommendTopK(t *testing.T) {
+	srv, _, target := testServer(t, 100)
+	w, body := get(t, srv, "/v1/recommend?target="+itoa(target)+"&k=3")
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", w.Code, body)
+	}
+	nodes := body["nodes"].([]any)
+	if len(nodes) != 3 {
+		t.Errorf("nodes = %v", nodes)
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	srv, _, target := testServer(t, 100)
+	cases := []struct {
+		path string
+		code int
+	}{
+		{"/v1/recommend", http.StatusBadRequest},
+		{"/v1/recommend?target=abc", http.StatusBadRequest},
+		{"/v1/recommend?target=999999", http.StatusNotFound},
+		{"/v1/recommend?target=" + itoa(target) + "&k=0", http.StatusBadRequest},
+		{"/v1/recommend?target=" + itoa(target) + "&k=999", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		w, _ := get(t, srv, c.path)
+		if w.Code != c.code {
+			t.Errorf("%s: status %d, want %d", c.path, w.Code, c.code)
+		}
+	}
+}
+
+func TestBudgetEnforcement(t *testing.T) {
+	srv, _, target := testServer(t, 2) // two eps=1 calls
+	for i := 0; i < 2; i++ {
+		w, _ := get(t, srv, "/v1/recommend?target="+itoa(target))
+		if w.Code != http.StatusOK {
+			t.Fatalf("call %d: status %d", i, w.Code)
+		}
+	}
+	w, body := get(t, srv, "/v1/recommend?target="+itoa(target))
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("exhausted budget: status %d %v", w.Code, body)
+	}
+	// Budget endpoint reflects the ledger.
+	w, body = get(t, srv, "/v1/budget")
+	if w.Code != http.StatusOK {
+		t.Fatalf("budget: %d", w.Code)
+	}
+	if body["spent"].(float64) != 2 || body["calls"].(float64) != 2 {
+		t.Errorf("budget body %v", body)
+	}
+}
+
+func TestBudgetDisabled(t *testing.T) {
+	srv, _, target := testServer(t, 0)
+	for i := 0; i < 5; i++ {
+		w, _ := get(t, srv, "/v1/recommend?target="+itoa(target))
+		if w.Code != http.StatusOK {
+			t.Fatalf("unbudgeted call %d failed: %d", i, w.Code)
+		}
+	}
+	w, _ := get(t, srv, "/v1/budget")
+	if w.Code != http.StatusNotFound {
+		t.Errorf("budget endpoint with budgeting disabled: %d", w.Code)
+	}
+}
+
+func TestAudit(t *testing.T) {
+	srv, _, target := testServer(t, 100)
+	w, body := get(t, srv, "/v1/audit?target="+itoa(target))
+	if w.Code != http.StatusOK {
+		t.Fatalf("audit: %d %v", w.Code, body)
+	}
+	acc := body["expected_accuracy"].(float64)
+	ceiling := body["accuracy_ceiling"].(float64)
+	if acc < 0 || acc > 1 || ceiling < 0 || ceiling > 1 {
+		t.Errorf("out-of-range audit values: %v", body)
+	}
+	if acc > ceiling+1e-9 {
+		t.Errorf("mechanism accuracy %g above ceiling %g", acc, ceiling)
+	}
+	// Audits are free: budget untouched.
+	_, budget := get(t, srv, "/v1/budget")
+	if budget["spent"].(float64) != 0 {
+		t.Errorf("audit consumed budget: %v", budget)
+	}
+}
+
+func TestAuditBadTarget(t *testing.T) {
+	srv, _, _ := testServer(t, 100)
+	w, _ := get(t, srv, "/v1/audit?target=-3")
+	if w.Code != http.StatusNotFound {
+		t.Errorf("status %d", w.Code)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil recommender accepted")
+	}
+	g, err := socialrec.GenerateSocialGraph(50, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := socialrec.NewRecommender(g, socialrec.WithEpsilon(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Recommender: rec, TotalEpsilon: 1}); err == nil {
+		t.Error("budget below per-call epsilon accepted")
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv, _, target := testServer(t, 100)
+	req := httptest.NewRequest(http.MethodPost, "/v1/recommend?target="+itoa(target), nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status %d", w.Code)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

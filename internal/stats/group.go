@@ -1,0 +1,77 @@
+package stats
+
+import "sort"
+
+// GroupedSeries aggregates (key, value) observations by integer key and
+// reports the mean value per key. It backs Figure 2(c) of the paper, where
+// the x-axis is target-node degree and the y-axis is mean accuracy.
+type GroupedSeries struct {
+	sums   map[int]float64
+	counts map[int]int
+}
+
+// NewGroupedSeries returns an empty aggregation.
+func NewGroupedSeries() *GroupedSeries {
+	return &GroupedSeries{sums: make(map[int]float64), counts: make(map[int]int)}
+}
+
+// Add records one observation under key.
+func (g *GroupedSeries) Add(key int, value float64) {
+	g.sums[key] += value
+	g.counts[key]++
+}
+
+// GroupPoint is one aggregated point.
+type GroupPoint struct {
+	Key   int
+	Mean  float64
+	Count int
+}
+
+// Points returns the per-key means sorted by key.
+func (g *GroupedSeries) Points() []GroupPoint {
+	keys := make([]int, 0, len(g.sums))
+	for k := range g.sums {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]GroupPoint, len(keys))
+	for i, k := range keys {
+		out[i] = GroupPoint{Key: k, Mean: g.sums[k] / float64(g.counts[k]), Count: g.counts[k]}
+	}
+	return out
+}
+
+// LogBucket maps a positive integer onto a base-10 logarithmic bucket
+// boundary (1, 2, 5, 10, 20, 50, 100, ...), which is how Figure 2(c)'s
+// log-scale degree axis is discretized for reporting.
+func LogBucket(n int) int {
+	if n < 1 {
+		return 1
+	}
+	base := 1
+	for {
+		for _, m := range [...]int{1, 2, 5} {
+			edge := m * base
+			next := nextEdge(m, base)
+			if n >= edge && n < next {
+				return edge
+			}
+		}
+		base *= 10
+		if base <= 0 { // overflow guard; unreachable for sane degrees
+			return n
+		}
+	}
+}
+
+func nextEdge(m, base int) int {
+	switch m {
+	case 1:
+		return 2 * base
+	case 2:
+		return 5 * base
+	default:
+		return 10 * base
+	}
+}

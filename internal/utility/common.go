@@ -1,0 +1,46 @@
+package utility
+
+import "fmt"
+
+// CommonNeighbors is the number-of-common-neighbors utility (the paper's
+// running example, §4.1): u_i = C(i, r), the number of two-hop
+// intermediaries between the target and i (following out-edges on directed
+// graphs, per §7.1).
+type CommonNeighbors struct{}
+
+// Name implements Function.
+func (CommonNeighbors) Name() string { return "common-neighbors" }
+
+// Vector implements Function.
+func (CommonNeighbors) Vector(v View, r int) ([]float64, error) {
+	if r < 0 || r >= v.NumNodes() {
+		return nil, fmt.Errorf("%w: %d", ErrTarget, r)
+	}
+	counts := v.CommonNeighborsFrom(r)
+	vec := make([]float64, len(counts))
+	for i, c := range counts {
+		vec[i] = float64(c)
+	}
+	maskExisting(v, r, vec)
+	return vec, nil
+}
+
+// Sensitivity implements Function. Adding or removing one edge (x, y) not
+// incident to the target changes C(x, r) by at most 1 (when y is a neighbor
+// of r) and C(y, r) by at most 1 (when x is), so the L1 change of the
+// utility vector is at most 2 — and the per-entry change is at most 1, so
+// Δf = 2 also covers the 2·Δ∞ requirement of the exponential mechanism.
+func (CommonNeighbors) Sensitivity(View) float64 { return 2 }
+
+// RewireCount implements Function with the exact per-target value from
+// §7.1: t = u_max + 1 + I(u_max == d_r). Connecting a candidate to u_max+1
+// of r's neighbors beats every incumbent (each has at most u_max common
+// neighbors); when u_max already equals d_r there is no spare neighbor, so
+// one extra edge from r to a fresh intermediary is also needed.
+func (CommonNeighbors) RewireCount(umax float64, dr int) int {
+	t := int(umax) + 1
+	if int(umax) == dr {
+		t++
+	}
+	return t
+}

@@ -1,0 +1,43 @@
+package socialrec
+
+import (
+	"io"
+
+	"socialrec/internal/dataset"
+	"socialrec/internal/distribution"
+	"socialrec/internal/gen"
+)
+
+// ReadGraph parses a SNAP-style edge list ('#' comments, one "from to" pair
+// per line). Node labels are remapped to dense IDs in first-seen order.
+func ReadGraph(r io.Reader, directed bool) (*Graph, error) {
+	g, _, err := dataset.Read(r, dataset.Options{Directed: directed})
+	return g, err
+}
+
+// ReadGraphFile loads an edge list from disk, transparently decompressing
+// ".gz" files.
+func ReadGraphFile(path string, directed bool) (*Graph, error) {
+	g, _, err := dataset.ReadFile(path, dataset.Options{Directed: directed})
+	return g, err
+}
+
+// WriteGraph emits g as a SNAP-style edge list.
+func WriteGraph(w io.Writer, g *Graph) error { return dataset.Write(w, g) }
+
+// WriteGraphFile stores g at path, gzip-compressing ".gz" names.
+func WriteGraphFile(path string, g *Graph) error { return dataset.WriteFile(path, g) }
+
+// GenerateSocialGraph returns a synthetic undirected social graph with n
+// nodes, about m edges, and the heavy-tailed degree distribution typical of
+// friendship networks. Deterministic in seed.
+func GenerateSocialGraph(n, m int, seed int64) (*Graph, error) {
+	return gen.PowerLawConfiguration(n, m, 1, 1.5, distribution.NewRNG(seed))
+}
+
+// GenerateFollowerGraph returns a synthetic directed follower graph with n
+// nodes and about m edges, with heavy-tailed out-degrees and a celebrity
+// hub, shaped like the paper's Twitter sample. Deterministic in seed.
+func GenerateFollowerGraph(n, m int, seed int64) (*Graph, error) {
+	return gen.DirectedPreferentialAttachment(n, m, m/50, 2.0, distribution.NewRNG(seed))
+}

@@ -1,0 +1,62 @@
+package socialrec
+
+import "fmt"
+
+// Option configures a Recommender at construction time.
+type Option func(*Recommender) error
+
+// WithEpsilon sets the differential privacy parameter ε. Smaller ε is more
+// private; the paper evaluates 0.5, 1, and the lenient 3.
+func WithEpsilon(eps float64) Option {
+	return func(r *Recommender) error {
+		if !(eps > 0) {
+			return fmt.Errorf("socialrec: WithEpsilon(%g): epsilon must be positive", eps)
+		}
+		r.epsilon = eps
+		return nil
+	}
+}
+
+// WithUtility sets the link-analysis utility function.
+func WithUtility(u UtilityFunction) Option {
+	return func(r *Recommender) error {
+		if u == nil {
+			return fmt.Errorf("socialrec: WithUtility(nil)")
+		}
+		r.util = u
+		return nil
+	}
+}
+
+// WithMechanism selects the private selection mechanism.
+func WithMechanism(k MechanismKind) Option {
+	return func(r *Recommender) error {
+		switch k {
+		case MechanismExponential, MechanismLaplace, MechanismSmoothing, MechanismNone:
+			r.kind = k
+			return nil
+		default:
+			return fmt.Errorf("socialrec: WithMechanism(%v): unknown mechanism", k)
+		}
+	}
+}
+
+// WithSeed fixes the root seed for the Recommender's internal randomness,
+// making Recommend deterministic per target. Production deployments should
+// use a fresh unpredictable seed; determinism is for tests and experiments.
+func WithSeed(seed int64) Option {
+	return func(r *Recommender) error {
+		r.seed = seed
+		return nil
+	}
+}
+
+// NonPrivate disables privacy protection entirely (R_best). It exists so
+// that examples and benchmarks can report the non-private baseline; never
+// ship it to users whose graph edges are sensitive.
+func NonPrivate() Option {
+	return func(r *Recommender) error {
+		r.kind = MechanismNone
+		return nil
+	}
+}

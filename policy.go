@@ -1,0 +1,49 @@
+package socialrec
+
+import (
+	"fmt"
+
+	"socialrec/internal/bounds"
+	"socialrec/internal/utility"
+)
+
+// EdgePolicy marks which (potential) edges of the graph are sensitive. It
+// is consulted for absent edges too, because the impossibility argument
+// reasons about edges an attacker could imagine adding.
+type EdgePolicy = bounds.EdgePolicy
+
+// SensitiveCeiling is the result of a partially-sensitive privacy audit
+// for one target (the §8 extension of the paper: "only certain edges are
+// sensitive").
+type SensitiveCeiling struct {
+	// Bounded reports whether privacy imposes any accuracy ceiling at all.
+	// When false, every rewiring that could promote a worthless candidate
+	// necessarily flips a public edge, the impossibility argument does not
+	// apply, and accurate recommendations may be privately feasible for
+	// this target.
+	Bounded bool
+	// Ceiling is the Corollary 1 accuracy upper bound (1 when unbounded).
+	Ceiling float64
+	// SensitiveEdits is the number of sensitive edge alterations in the
+	// cheapest promotion (the t of the bound; 0 when unbounded).
+	SensitiveEdits int
+}
+
+// AccuracyCeilingWithPolicy evaluates the accuracy ceiling when only the
+// edges selected by policy are sensitive — for example, person-product
+// purchase links private while person-person friendships are public. It is
+// only defined for the common-neighbors utility (the paper's running
+// example); other utilities return an error.
+//
+// A nil policy means every edge is sensitive, which reduces to
+// AccuracyCeiling's model.
+func (r *Recommender) AccuracyCeilingWithPolicy(target int, policy EdgePolicy) (SensitiveCeiling, error) {
+	if _, ok := r.util.(utility.CommonNeighbors); !ok {
+		return SensitiveCeiling{}, fmt.Errorf("socialrec: sensitive-edge ceilings are defined for the common-neighbors utility, not %s", r.util.Name())
+	}
+	res, err := bounds.SensitiveCommonNeighborsCeiling(r.snap, target, r.epsilon, policy)
+	if err != nil {
+		return SensitiveCeiling{}, err
+	}
+	return SensitiveCeiling{Bounded: res.Bounded, Ceiling: res.Ceiling, SensitiveEdits: res.T}, nil
+}

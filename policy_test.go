@@ -1,0 +1,60 @@
+package socialrec
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccuracyCeilingWithPolicyAllSensitive(t *testing.T) {
+	g := topKGraph(t)
+	target := pickTarget(t, g)
+	r, err := NewRecommender(g, WithEpsilon(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.AccuracyCeilingWithPolicy(target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Bounded {
+		t.Fatal("all-sensitive audit must bound")
+	}
+	// Must agree with the standard ceiling (same t for common neighbors).
+	std, err := r.AccuracyCeiling(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Ceiling-std) > 1e-12 {
+		t.Errorf("policy ceiling %g vs standard %g", res.Ceiling, std)
+	}
+	if res.SensitiveEdits < 1 {
+		t.Errorf("sensitive edits = %d", res.SensitiveEdits)
+	}
+}
+
+func TestAccuracyCeilingWithPolicyAllPublic(t *testing.T) {
+	g := topKGraph(t)
+	target := pickTarget(t, g)
+	r, err := NewRecommender(g, WithEpsilon(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.AccuracyCeilingWithPolicy(target, func(u, v int) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bounded || res.Ceiling != 1 {
+		t.Errorf("all-public audit should be unbounded: %+v", res)
+	}
+}
+
+func TestAccuracyCeilingWithPolicyWrongUtility(t *testing.T) {
+	g := topKGraph(t)
+	r, err := NewRecommender(g, WithUtility(WeightedPaths(0.005)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AccuracyCeilingWithPolicy(0, nil); err == nil {
+		t.Error("non-CN utility accepted")
+	}
+}

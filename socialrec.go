@@ -1,0 +1,297 @@
+package socialrec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"socialrec/internal/bounds"
+	"socialrec/internal/distribution"
+	"socialrec/internal/graph"
+	"socialrec/internal/mechanism"
+	"socialrec/internal/utility"
+)
+
+// Graph is the social graph recommendations are computed over. Nodes are
+// the dense integers 0..N-1; edges may be directed (follower-style) or
+// undirected (friendship-style).
+type Graph = graph.Graph
+
+// Edge is a single link of a Graph.
+type Edge = graph.Edge
+
+// NewGraph returns an undirected graph with n isolated nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NewDirectedGraph returns a directed graph with n isolated nodes.
+func NewDirectedGraph(n int) *Graph { return graph.NewDirected(n) }
+
+// UtilityFunction scores how good each candidate recommendation is for a
+// target, using only the link structure of the graph.
+type UtilityFunction = utility.Function
+
+// CommonNeighbors returns the number-of-common-neighbors utility, the
+// paper's running example and the measure behind "people you may know"
+// features.
+func CommonNeighbors() UtilityFunction { return utility.CommonNeighbors{} }
+
+// WeightedPaths returns the weighted-paths (truncated Katz) utility with
+// discount gamma, counting paths of length up to 3 as in the paper's
+// experiments.
+func WeightedPaths(gamma float64) UtilityFunction { return utility.WeightedPaths{Gamma: gamma} }
+
+// PersonalizedPageRank returns the rooted PageRank utility with restart
+// probability alpha (0.15 when alpha is 0).
+func PersonalizedPageRank(alpha float64) UtilityFunction { return utility.PageRank{Alpha: alpha} }
+
+// DegreeUtility returns the preferential-attachment utility (candidate
+// out-degree).
+func DegreeUtility() UtilityFunction { return utility.Degree{} }
+
+// JaccardUtility returns the Jaccard-coefficient utility: the size of the
+// shared neighborhood normalized by the union, so that candidates with
+// small but fully-overlapping circles score as well as hubs.
+func JaccardUtility() UtilityFunction { return utility.Jaccard{} }
+
+// MechanismKind selects the private selection algorithm.
+type MechanismKind int
+
+// Available mechanisms.
+const (
+	// MechanismExponential is the exponential mechanism (Definition 5):
+	// exact recommendation probabilities, exact expected accuracy.
+	MechanismExponential MechanismKind = iota
+	// MechanismLaplace is the Laplace mechanism (Definition 6): argmax of
+	// Laplace-noised utilities.
+	MechanismLaplace
+	// MechanismSmoothing is the sampling/linear-smoothing mechanism A_S(x)
+	// of Appendix F, mixing the optimal recommender with the uniform one.
+	MechanismSmoothing
+	// MechanismNone disables privacy: the optimal recommender R_best.
+	MechanismNone
+)
+
+// String implements fmt.Stringer.
+func (k MechanismKind) String() string {
+	switch k {
+	case MechanismExponential:
+		return "exponential"
+	case MechanismLaplace:
+		return "laplace"
+	case MechanismSmoothing:
+		return "smoothing"
+	case MechanismNone:
+		return "none"
+	default:
+		return fmt.Sprintf("MechanismKind(%d)", int(k))
+	}
+}
+
+// Recommendation is one private recommendation together with its quality
+// diagnostics.
+type Recommendation struct {
+	// Target is the node the recommendation is for.
+	Target int
+	// Node is the recommended candidate.
+	Node int
+	// Utility is the (non-private, internal) utility of the recommended
+	// candidate; callers exposing this value to users leak information and
+	// void the privacy guarantee.
+	Utility float64
+	// MaxUtility is the best candidate's utility (R_best's score).
+	MaxUtility float64
+}
+
+// Recommender makes differentially private social recommendations over a
+// fixed snapshot of a graph. It is safe for concurrent use after creation;
+// per-call randomness is supplied through an internal mutex-free split RNG
+// keyed by target, so results are deterministic for a fixed seed.
+type Recommender struct {
+	snap    *graph.CSR
+	util    UtilityFunction
+	kind    MechanismKind
+	epsilon float64
+	sens    float64
+	seed    int64
+	x       float64 // smoothing weight (MechanismSmoothing only)
+}
+
+// Errors returned by the Recommender.
+var (
+	ErrNilGraph     = errors.New("socialrec: nil graph")
+	ErrNoCandidates = errors.New("socialrec: target has no positive-utility candidate")
+	ErrBadTarget    = errors.New("socialrec: target out of range")
+)
+
+// NewRecommender builds a Recommender over a snapshot of g. The default
+// configuration is the exponential mechanism with ε = 1 and the
+// common-neighbors utility. Mutating g afterwards does not affect the
+// Recommender.
+func NewRecommender(g *Graph, opts ...Option) (*Recommender, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	r := &Recommender{
+		snap:    g.Snapshot(),
+		util:    utility.CommonNeighbors{},
+		kind:    MechanismExponential,
+		epsilon: 1,
+		seed:    1,
+	}
+	for _, opt := range opts {
+		if err := opt(r); err != nil {
+			return nil, err
+		}
+	}
+	if r.kind != MechanismNone && !(r.epsilon > 0) {
+		return nil, fmt.Errorf("socialrec: epsilon %g must be positive", r.epsilon)
+	}
+	r.sens = r.util.Sensitivity(r.snap)
+	if r.kind == MechanismSmoothing {
+		x, err := mechanism.SmoothingXForEpsilon(r.epsilon, r.snap.NumNodes())
+		if err != nil {
+			return nil, err
+		}
+		r.x = x
+	}
+	return r, nil
+}
+
+// Epsilon returns the configured privacy parameter.
+func (r *Recommender) Epsilon() float64 { return r.epsilon }
+
+// Sensitivity returns the Δf in use for the configured utility.
+func (r *Recommender) Sensitivity() float64 { return r.sens }
+
+// Utility returns the configured utility function.
+func (r *Recommender) Utility() UtilityFunction { return r.util }
+
+// Mechanism returns the configured mechanism kind.
+func (r *Recommender) Mechanism() MechanismKind { return r.kind }
+
+func (r *Recommender) mech() mechanism.Mechanism {
+	switch r.kind {
+	case MechanismLaplace:
+		return mechanism.Laplace{Epsilon: r.epsilon, Sensitivity: r.sens}
+	case MechanismSmoothing:
+		return mechanism.Smoothing{X: r.x, Base: mechanism.Best{}}
+	case MechanismNone:
+		return mechanism.Best{}
+	default:
+		return mechanism.Exponential{Epsilon: r.epsilon, Sensitivity: r.sens}
+	}
+}
+
+// vector returns the compacted utility vector over the candidate domain
+// (all nodes except the target and its existing out-neighbors), the
+// candidate index list mapping compact positions back to node IDs, and the
+// maximum utility.
+func (r *Recommender) vector(target int) (vec []float64, candidates []int, umax float64, err error) {
+	if target < 0 || target >= r.snap.NumNodes() {
+		return nil, nil, 0, fmt.Errorf("%w: %d", ErrBadTarget, target)
+	}
+	full, err := r.util.Vector(r.snap, target)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	candidates = utility.Candidates(r.snap, target)
+	vec = utility.Compact(full, candidates)
+	umax = utility.Max(vec)
+	if umax == 0 {
+		return nil, nil, 0, fmt.Errorf("%w: node %d", ErrNoCandidates, target)
+	}
+	return vec, candidates, umax, nil
+}
+
+// Recommend returns one private recommendation for the target node. Each
+// call consumes fresh randomness; repeated calls for the same target release
+// additional information and compose their ε budgets additively.
+func (r *Recommender) Recommend(target int) (Recommendation, error) {
+	return r.recommend(target, distribution.Split(r.seed, fmt.Sprintf("recommend/%d", target)))
+}
+
+// RecommendWithRNG is Recommend with caller-supplied randomness, for
+// deterministic tests and simulations.
+func (r *Recommender) RecommendWithRNG(target int, rng *rand.Rand) (Recommendation, error) {
+	return r.recommend(target, rng)
+}
+
+func (r *Recommender) recommend(target int, rng *rand.Rand) (Recommendation, error) {
+	vec, candidates, umax, err := r.vector(target)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	idx, err := r.mech().Recommend(vec, rng)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	return Recommendation{Target: target, Node: candidates[idx], Utility: vec[idx], MaxUtility: umax}, nil
+}
+
+// ExpectedAccuracy returns the expected accuracy (Definition 2: expected
+// utility over u_max) of the configured mechanism for the target. It is
+// exact for the exponential, smoothing, and non-private mechanisms and a
+// 1,000-trial Monte-Carlo estimate for Laplace.
+func (r *Recommender) ExpectedAccuracy(target int) (float64, error) {
+	vec, _, _, err := r.vector(target)
+	if err != nil {
+		return 0, err
+	}
+	m := r.mech()
+	if d, ok := m.(mechanism.Distribution); ok {
+		return mechanism.ExpectedAccuracy(d, vec)
+	}
+	rng := distribution.Split(r.seed, fmt.Sprintf("accuracy/%d", target))
+	return mechanism.MonteCarloAccuracy(m, vec, mechanism.DefaultLaplaceTrials, rng)
+}
+
+// AccuracyCeiling returns the Corollary 1 upper bound on the expected
+// accuracy ANY ε-differentially private recommender (not just the
+// configured one) can achieve for this target — the paper's "Theoretical
+// Bound" curve. A ceiling near zero means privacy makes useful
+// recommendations for this node impossible.
+func (r *Recommender) AccuracyCeiling(target int) (float64, error) {
+	vec, _, umax, err := r.vector(target)
+	if err != nil {
+		return 0, err
+	}
+	t := r.util.RewireCount(umax, r.snap.OutDegree(target))
+	return bounds.TightestAccuracyBound(vec, r.epsilon, t)
+}
+
+// EpsilonFloor returns the minimum ε (leading order) at which a
+// constant-accuracy recommendation is possible for a target of the given
+// degree under the configured utility, per Theorems 2 and 3. The result is
+// NaN for utilities without a specific theorem (use Theorem 1 via
+// GenericEpsilonFloor instead).
+func (r *Recommender) EpsilonFloor(targetDegree int) float64 {
+	n := r.snap.NumNodes()
+	switch u := r.util.(type) {
+	case utility.CommonNeighbors:
+		eps, err := bounds.Theorem2Epsilon(n, targetDegree)
+		if err != nil {
+			return math.NaN()
+		}
+		return eps
+	case utility.WeightedPaths:
+		eps, err := bounds.Theorem3Epsilon(n, targetDegree, r.snap.MaxDegree(), u.Gamma)
+		if err != nil {
+			return math.NaN()
+		}
+		return eps
+	default:
+		return math.NaN()
+	}
+}
+
+// GenericEpsilonFloor returns the Theorem 1 floor: the minimum ε at which
+// any exchangeable, concentrated utility function can support constant
+// accuracy on this graph, given its maximum degree.
+func (r *Recommender) GenericEpsilonFloor() float64 {
+	eps, err := bounds.Theorem1Epsilon(r.snap.NumNodes(), r.snap.MaxDegree())
+	if err != nil {
+		return math.NaN()
+	}
+	return eps
+}

@@ -1,0 +1,100 @@
+package socialrec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"socialrec/internal/distribution"
+	"socialrec/internal/mechanism"
+)
+
+// RecommendTopK returns k distinct private recommendations for the target,
+// ordered by decreasing (internal) utility. The privacy cost of the whole
+// set is the Recommender's ε:
+//
+//   - MechanismLaplace noises the utility vector once and releases the top
+//     k of the noisy scores (one ε-DP histogram release + post-processing).
+//   - MechanismExponential peels k sequential draws at ε/k each (sequential
+//     composition).
+//   - MechanismSmoothing mixes k uniform/top draws; by composition the set
+//     costs k·ln(1+nx/(1-x)), so the per-construction x is derated to ε/k.
+//   - MechanismNone returns the exact top k (no privacy).
+//
+// The paper's Appendix A observes that multiple recommendations face
+// strictly harsher accuracy limits than single ones; expect noticeably
+// worse per-set accuracy as k grows.
+func (r *Recommender) RecommendTopK(target, k int) ([]Recommendation, error) {
+	return r.recommendTopK(target, k, distribution.Split(r.seed, fmt.Sprintf("topk/%d/%d", target, k)))
+}
+
+// RecommendTopKWithRNG is RecommendTopK with caller-supplied randomness.
+func (r *Recommender) RecommendTopKWithRNG(target, k int, rng *rand.Rand) ([]Recommendation, error) {
+	return r.recommendTopK(target, k, rng)
+}
+
+func (r *Recommender) recommendTopK(target, k int, rng *rand.Rand) ([]Recommendation, error) {
+	vec, candidates, umax, err := r.vector(target)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 || k > len(vec) {
+		return nil, fmt.Errorf("socialrec: k=%d outside [1, %d] for node %d", k, len(vec), target)
+	}
+
+	var picked []int
+	switch r.kind {
+	case MechanismLaplace:
+		picked, err = mechanism.TopKLaplace(r.epsilon, r.sens, vec, k, rng)
+	case MechanismExponential:
+		picked, err = mechanism.TopKPeel(r.epsilon, r.sens, vec, k, rng)
+	case MechanismSmoothing:
+		picked, err = r.smoothingTopK(vec, k, rng)
+	default: // MechanismNone
+		picked, err = exactTopK(vec, k)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]Recommendation, len(picked))
+	for i, idx := range picked {
+		out[i] = Recommendation{Target: target, Node: candidates[idx], Utility: vec[idx], MaxUtility: umax}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Utility > out[j].Utility })
+	return out, nil
+}
+
+// smoothingTopK draws k distinct candidates from A_S(x') without
+// replacement, where x' is derated so that k-fold composition stays within
+// the Recommender's ε.
+func (r *Recommender) smoothingTopK(vec []float64, k int, rng *rand.Rand) ([]int, error) {
+	x, err := mechanism.SmoothingXForEpsilon(r.epsilon/float64(k), len(vec))
+	if err != nil {
+		return nil, err
+	}
+	s := mechanism.Smoothing{X: x, Base: mechanism.Best{}}
+	chosen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		idx, err := s.Recommend(vec, rng)
+		if err != nil {
+			return nil, err
+		}
+		if chosen[idx] {
+			continue // rejection: draw again until distinct
+		}
+		chosen[idx] = true
+		out = append(out, idx)
+	}
+	return out, nil
+}
+
+func exactTopK(vec []float64, k int) ([]int, error) {
+	idx := make([]int, len(vec))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vec[idx[a]] > vec[idx[b]] })
+	return idx[:k], nil
+}
