@@ -1,0 +1,91 @@
+package socialrec
+
+import (
+	"sync/atomic"
+
+	"socialrec/internal/par"
+)
+
+// Batch serving: experiment sweeps, offline evaluation, and cache warming
+// all evaluate many targets against the same immutable snapshot. The
+// per-target work (a graph scan plus a mechanism draw) is embarrassingly
+// parallel, so it fans out across a worker pool sized to the machine
+// (internal/par). Because each target draws from its own split RNG, batch
+// results are bit-identical to a sequential loop over Recommend, whatever
+// the worker interleaving.
+
+// BatchResult is the outcome of one target of a BatchRecommend call.
+type BatchResult struct {
+	// Recommendation is valid when Err is nil.
+	Recommendation
+	// Err is the per-target failure (ErrBadTarget, ErrNoCandidates, ...);
+	// one hopeless target does not fail the rest of the batch.
+	Err error
+}
+
+// BatchRecommend returns one private recommendation per target, evaluated
+// in parallel across runtime.NumCPU() workers. Results are positionally
+// aligned with targets and identical to calling Recommend on each target
+// sequentially. The privacy cost composes additively over the batch, ε per
+// target, exactly as for individual Recommend calls.
+func (r *Recommender) BatchRecommend(targets []int) []BatchResult {
+	out := make([]BatchResult, len(targets))
+	par.ForEach(len(targets), func(pos int) {
+		rec, err := r.Recommend(targets[pos])
+		out[pos] = BatchResult{Recommendation: rec, Err: err}
+	})
+	return out
+}
+
+// BatchTopKResult is the outcome of one target of a BatchRecommendTopK
+// call.
+type BatchTopKResult struct {
+	// Recommendations is valid when Err is nil.
+	Recommendations []Recommendation
+	// Err is the per-target failure, as in BatchResult.
+	Err error
+}
+
+// BatchRecommendTopK is BatchRecommend for k-recommendation lists.
+func (r *Recommender) BatchRecommendTopK(targets []int, k int) []BatchTopKResult {
+	out := make([]BatchTopKResult, len(targets))
+	par.ForEach(len(targets), func(pos int) {
+		recs, err := r.RecommendTopK(targets[pos], k)
+		out[pos] = BatchTopKResult{Recommendations: recs, Err: err}
+	})
+	return out
+}
+
+// Precompute warms the utility-vector cache for the given targets, fanning
+// the deterministic pre-noise computation across runtime.NumCPU() workers.
+// It releases nothing (no mechanism draw happens), so it costs no privacy
+// budget, and it does not touch the cache's hit/miss counters — /healthz
+// hit rates keep reflecting serving traffic only. The return value is the
+// number of targets now cached, counting negative entries for hopeless
+// targets; it is 0 when no cache is enabled (enable one with WithCache or
+// EnableCache first).
+func (r *Recommender) Precompute(targets []int) int {
+	c := r.cache.Load()
+	if c == nil {
+		return 0
+	}
+	st := r.state.Load()
+	var warmed atomic.Int64
+	par.ForEach(len(targets), func(pos int) {
+		target := targets[pos]
+		if target < 0 || target >= st.snap.NumNodes() {
+			return
+		}
+		if c.contains(st.epoch, target) {
+			warmed.Add(1)
+			return
+		}
+		cv, err := r.computeVector(st, target)
+		if err != nil {
+			return
+		}
+		c.put(st.epoch, target, cv)
+		warmed.Add(1)
+	})
+	return int(warmed.Load())
+}

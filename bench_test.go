@@ -363,3 +363,102 @@ func BenchmarkRecommend(b *testing.B) {
 		}
 	}
 }
+
+// serveTargets is the repeated-target workload of the serving benches: a
+// production frontend re-requests a bounded working set of users, so the
+// cache's steady state is all hits.
+func serveTargets(n int) []int {
+	targets := make([]int, 64)
+	for i := range targets {
+		targets[i] = i % n
+	}
+	return targets
+}
+
+// BenchmarkRecommendCached measures repeated-target serving with the
+// utility-vector cache against the uncached seed path — the headline
+// speedup of the serving engine.
+func BenchmarkRecommendCached(b *testing.B) {
+	wiki, _ := benchGraphs(b)
+	targets := serveTargets(wiki.NumNodes())
+	for _, cached := range []bool{false, true} {
+		name := "uncached"
+		opts := []Option{WithEpsilon(1), WithSeed(1)}
+		if cached {
+			name = "cached"
+			opts = append(opts, WithCache(DefaultCacheSize))
+		}
+		b.Run(name, func(b *testing.B) {
+			rec, err := NewRecommender(wiki, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := distribution.NewRNG(2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := rec.RecommendWithRNG(targets[i%len(targets)], rng)
+				if err != nil && !errors.Is(err, ErrNoCandidates) {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTopK measures cached top-k serving across mechanisms (k=5); the
+// non-private arm isolates the bounded-heap selection.
+func BenchmarkTopK(b *testing.B) {
+	wiki, _ := benchGraphs(b)
+	targets := serveTargets(wiki.NumNodes())
+	for _, kind := range []MechanismKind{MechanismExponential, MechanismLaplace, MechanismSmoothing, MechanismNone} {
+		b.Run(kind.String(), func(b *testing.B) {
+			rec, err := NewRecommender(wiki, WithEpsilon(1), WithSeed(1),
+				WithMechanism(kind), WithCache(DefaultCacheSize))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := distribution.NewRNG(2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := rec.RecommendTopKWithRNG(targets[i%len(targets)], 5, rng)
+				if err != nil && !errors.Is(err, ErrNoCandidates) {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBatchRecommend measures the parallel batch path on a cold cache
+// each round (the Precompute/offline-evaluation workload).
+func BenchmarkBatchRecommend(b *testing.B) {
+	wiki, _ := benchGraphs(b)
+	targets := make([]int, 256)
+	for i := range targets {
+		targets[i] = i % wiki.NumNodes()
+	}
+	b.Run("sequential", func(b *testing.B) {
+		rec, err := NewRecommender(wiki, WithEpsilon(1), WithSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, target := range targets {
+				_, _ = rec.Recommend(target)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		rec, err := NewRecommender(wiki, WithEpsilon(1), WithSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = rec.BatchRecommend(targets)
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package socialrec
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// The utility-vector cache memoizes the deterministic pre-processing stage
+// of serving: for a fixed graph snapshot, a target's compacted utility
+// vector, candidate list, and maximum utility never change, while the DP
+// noise — the only part of a recommendation that must be fresh — is applied
+// afterwards, per draw. Caching this stage is therefore pure pre-processing
+// under the paper's privacy definition: the mechanism's output distribution
+// is identical with and without the cache, so the ε guarantee is untouched.
+// Cached values hold raw (non-private) utilities and must never leave the
+// process; only the Recommendation values derived from fresh noise do.
+//
+// Entries are keyed by (epoch, target). The epoch increments whenever the
+// Recommender swaps in a new graph snapshot (RefreshSnapshot), which lazily
+// invalidates every stale entry without a stop-the-world flush. The cache is
+// sharded to keep lock contention negligible under concurrent serving.
+
+// DefaultCacheSize is the entry cap EnableCache uses when given a
+// non-positive size.
+const DefaultCacheSize = 4096
+
+// cacheShardCount must be a power of two; 16 shards keep contention low at
+// typical server parallelism without wasting memory on tiny graphs.
+const cacheShardCount = 16
+
+// CacheStats is a point-in-time snapshot of the utility-vector cache's
+// effectiveness, exposed for operational monitoring (e.g. recserver's
+// /healthz endpoint).
+type CacheStats struct {
+	// Hits counts vector() calls answered from the cache.
+	Hits uint64 `json:"hits"`
+	// Misses counts vector() calls that had to recompute.
+	Misses uint64 `json:"misses"`
+	// Entries is the current number of cached targets across all shards.
+	Entries int `json:"entries"`
+	// Capacity is the configured entry cap.
+	Capacity int `json:"capacity"`
+}
+
+// cachedVector is the immutable per-target pre-processing result. The
+// slices are shared between the cache and all readers and must never be
+// mutated after insertion. umax == 0 records a negative result (the target
+// has no positive-utility candidate), so repeated requests for hopeless
+// targets are served without a graph scan too.
+type cachedVector struct {
+	vec        []float64
+	candidates []int
+	umax       float64
+	// cdf is the exponential mechanism's cumulative weight vector for vec
+	// (nil for other mechanisms); see Exponential.CDF.
+	cdf []float64
+}
+
+type cacheKey struct {
+	epoch  uint64
+	target int
+}
+
+type cacheEntry struct {
+	key cacheKey
+	val *cachedVector
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*list.Element
+	lru     list.List // front = most recently used
+	cap     int
+}
+
+// vectorCache is a sharded, epoch-keyed LRU cache of cachedVector values.
+type vectorCache struct {
+	shards [cacheShardCount]cacheShard
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	cap    int
+}
+
+func newVectorCache(size int) *vectorCache {
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	perShard := (size + cacheShardCount - 1) / cacheShardCount
+	c := &vectorCache{cap: perShard * cacheShardCount}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[cacheKey]*list.Element)
+		c.shards[i].cap = perShard
+	}
+	return c
+}
+
+func (c *vectorCache) shard(target int) *cacheShard {
+	return &c.shards[uint(target)&(cacheShardCount-1)]
+}
+
+// get returns the cached pre-processing result for (epoch, target), if any.
+func (c *vectorCache) get(epoch uint64, target int) (*cachedVector, bool) {
+	s := c.shard(target)
+	key := cacheKey{epoch: epoch, target: target}
+	s.mu.Lock()
+	el, ok := s.entries[key]
+	if ok {
+		s.lru.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// contains reports whether (epoch, target) is cached, refreshing its LRU
+// position but NOT the hit/miss counters — cache warmers use it so the
+// exported stats keep reflecting serving traffic only.
+func (c *vectorCache) contains(epoch uint64, target int) bool {
+	s := c.shard(target)
+	key := cacheKey{epoch: epoch, target: target}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if ok {
+		s.lru.MoveToFront(el)
+	}
+	return ok
+}
+
+// put inserts (or refreshes) the entry, evicting the least recently used
+// entry of the shard when it is full.
+func (c *vectorCache) put(epoch uint64, target int, val *cachedVector) {
+	s := c.shard(target)
+	key := cacheKey{epoch: epoch, target: target}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		s.lru.MoveToFront(el)
+		return
+	}
+	for s.lru.Len() >= s.cap {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.entries, oldest.Value.(*cacheEntry).key)
+	}
+	s.entries[key] = s.lru.PushFront(&cacheEntry{key: key, val: val})
+}
+
+// stats gathers a point-in-time snapshot across all shards.
+func (c *vectorCache) stats() CacheStats {
+	st := CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Capacity: c.cap,
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,287 @@
+package socialrec
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"socialrec/internal/distribution"
+	"socialrec/internal/gen"
+)
+
+func biggerGraph(t testing.TB) *Graph {
+	t.Helper()
+	g, err := gen.WikiVoteLikeScaled(20, distribution.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCachedMatchesUncached(t *testing.T) {
+	g := biggerGraph(t)
+	for _, kind := range []MechanismKind{MechanismExponential, MechanismLaplace, MechanismSmoothing, MechanismNone} {
+		plain, err := NewRecommender(g, WithMechanism(kind), WithSeed(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached, err := NewRecommender(g, WithMechanism(kind), WithSeed(3), WithCache(256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for target := 0; target < 50; target++ {
+			for round := 0; round < 3; round++ { // rounds 2+ hit the cache
+				want, errW := plain.Recommend(target)
+				got, errG := cached.Recommend(target)
+				if (errW == nil) != (errG == nil) {
+					t.Fatalf("%v target %d: errors diverge: %v vs %v", kind, target, errW, errG)
+				}
+				if want != got {
+					t.Fatalf("%v target %d round %d: cached %+v != uncached %+v", kind, target, round, got, want)
+				}
+				wantK, errW := plain.RecommendTopK(target, 3)
+				gotK, errG := cached.RecommendTopK(target, 3)
+				if (errW == nil) != (errG == nil) {
+					t.Fatalf("%v target %d: top-k errors diverge: %v vs %v", kind, target, errW, errG)
+				}
+				for i := range wantK {
+					if wantK[i] != gotK[i] {
+						t.Fatalf("%v target %d: top-k[%d] %+v != %+v", kind, target, i, gotK[i], wantK[i])
+					}
+				}
+			}
+		}
+		st, ok := cached.CacheStats()
+		if !ok {
+			t.Fatalf("%v: cache not enabled", kind)
+		}
+		if st.Hits == 0 || st.Misses == 0 {
+			t.Errorf("%v: expected both hits and misses, got %+v", kind, st)
+		}
+	}
+}
+
+func TestCachedAuditsMatchUncached(t *testing.T) {
+	g := demoGraph(t)
+	plain, err := NewRecommender(g, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := NewRecommender(g, WithSeed(5), WithCache(0)) // 0 = default size
+	if err != nil {
+		t.Fatal(err)
+	}
+	for target := 0; target < g.NumNodes(); target++ {
+		for round := 0; round < 2; round++ {
+			accW, errW := plain.ExpectedAccuracy(target)
+			accG, errG := cached.ExpectedAccuracy(target)
+			if (errW == nil) != (errG == nil) || accW != accG {
+				t.Fatalf("target %d: accuracy %g/%v != %g/%v", target, accG, errG, accW, errW)
+			}
+			ceilW, errW := plain.AccuracyCeiling(target)
+			ceilG, errG := cached.AccuracyCeiling(target)
+			if (errW == nil) != (errG == nil) || ceilW != ceilG {
+				t.Fatalf("target %d: ceiling %g/%v != %g/%v", target, ceilG, errG, ceilW, errW)
+			}
+		}
+	}
+}
+
+func TestCacheEvictionRespectsCapacity(t *testing.T) {
+	g := biggerGraph(t)
+	rec, err := NewRecommender(g, WithCache(32), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for target := 0; target < 500; target++ {
+		_, _ = rec.Recommend(target)
+	}
+	st, ok := rec.CacheStats()
+	if !ok {
+		t.Fatal("cache not enabled")
+	}
+	if st.Entries > st.Capacity {
+		t.Errorf("entries %d exceed capacity %d", st.Entries, st.Capacity)
+	}
+	if st.Entries == 0 {
+		t.Error("cache empty after 500 requests")
+	}
+}
+
+func TestCacheNegativeResults(t *testing.T) {
+	g := NewGraph(3) // no edges: every target is hopeless
+	rec, err := NewRecommender(g, WithCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		if _, err := rec.Recommend(0); !errors.Is(err, ErrNoCandidates) {
+			t.Fatalf("round %d: want ErrNoCandidates, got %v", round, err)
+		}
+	}
+	st, _ := rec.CacheStats()
+	if st.Hits == 0 {
+		t.Errorf("negative result not served from cache: %+v", st)
+	}
+}
+
+func TestRefreshSnapshotAdvancesEpoch(t *testing.T) {
+	g := demoGraph(t)
+	rec, err := NewRecommender(g, NonPrivate(), WithCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := rec.Recommend(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Node != 3 {
+		t.Fatalf("expected node 3 before rewiring, got %d", before.Node)
+	}
+	// Rewire so node 5 becomes the clear best suggestion for 0 (common
+	// neighbors through 1 and 2), then refresh.
+	for _, e := range [][2]int{{1, 5}, {2, 5}, {3, 0}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rec.RefreshSnapshot(g); err != nil {
+		t.Fatal(err)
+	}
+	after, err := rec.Recommend(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Node != 5 {
+		t.Errorf("stale snapshot after refresh: recommended %d, want 5", after.Node)
+	}
+	if err := rec.RefreshSnapshot(nil); !errors.Is(err, ErrNilGraph) {
+		t.Errorf("nil refresh: want ErrNilGraph, got %v", err)
+	}
+}
+
+func TestBatchRecommendMatchesSequential(t *testing.T) {
+	g := biggerGraph(t)
+	rec, err := NewRecommender(g, WithSeed(9), WithCache(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := make([]int, 120)
+	for i := range targets {
+		targets[i] = i - 1 // includes the invalid target -1
+	}
+	got := rec.BatchRecommend(targets)
+	if len(got) != len(targets) {
+		t.Fatalf("got %d results for %d targets", len(got), len(targets))
+	}
+	for i, target := range targets {
+		want, wantErr := rec.Recommend(target)
+		if (wantErr == nil) != (got[i].Err == nil) {
+			t.Fatalf("target %d: errors diverge: %v vs %v", target, got[i].Err, wantErr)
+		}
+		if wantErr == nil && got[i].Recommendation != want {
+			t.Fatalf("target %d: batch %+v != sequential %+v", target, got[i].Recommendation, want)
+		}
+	}
+}
+
+func TestPrecomputeWarmsCache(t *testing.T) {
+	g := biggerGraph(t)
+	rec, err := NewRecommender(g, WithSeed(2), WithCache(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []int{0, 1, 2, 3, 4, 5, 6, 7, -1, g.NumNodes()}
+	warmed := rec.Precompute(targets)
+	if warmed != 8 {
+		t.Errorf("warmed %d targets, want 8 (invalid ones skipped)", warmed)
+	}
+	st, _ := rec.CacheStats()
+	missesAfterWarm := st.Misses
+	for _, target := range targets[:8] {
+		_, _ = rec.Recommend(target)
+	}
+	st, _ = rec.CacheStats()
+	if st.Misses != missesAfterWarm {
+		t.Errorf("recommendations after Precompute still missed: %+v", st)
+	}
+
+	noCache, err := NewRecommender(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed := noCache.Precompute(targets); warmed != 0 {
+		t.Errorf("Precompute without a cache warmed %d", warmed)
+	}
+}
+
+// TestConcurrentCachedRecommender hammers one cached Recommender from many
+// goroutines under -race, checking every result against the uncached
+// sequential baseline.
+func TestConcurrentCachedRecommender(t *testing.T) {
+	g := biggerGraph(t)
+	baseline, err := NewRecommender(g, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const targets = 40
+	type expected struct {
+		rec  Recommendation
+		err  bool
+		acc  float64
+		topK []Recommendation
+	}
+	want := make([]expected, targets)
+	for i := range want {
+		rec, err := baseline.Recommend(i)
+		want[i] = expected{rec: rec, err: err != nil}
+		if err == nil {
+			want[i].acc, _ = baseline.ExpectedAccuracy(i)
+			want[i].topK, _ = baseline.RecommendTopK(i, 2)
+		}
+	}
+
+	cached, err := NewRecommender(g, WithSeed(11), WithCache(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				target := (w + i) % targets
+				rec, err := cached.Recommend(target)
+				if want[target].err {
+					if err == nil {
+						errs <- errors.New("missing error")
+					}
+					continue
+				}
+				if err != nil || rec != want[target].rec {
+					errs <- errors.Join(err, errors.New("recommendation diverged"))
+					continue
+				}
+				if acc, err := cached.ExpectedAccuracy(target); err != nil || acc != want[target].acc {
+					errs <- errors.Join(err, errors.New("accuracy diverged"))
+				}
+				if topK, err := cached.RecommendTopK(target, 2); err != nil {
+					errs <- err
+				} else {
+					for j := range topK {
+						if topK[j] != want[target].topK[j] {
+							errs <- errors.New("top-k diverged")
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -10,6 +10,7 @@
 //	recbench -scale 1             # paper-size graphs (slow)
 //	recbench -laplace 1000        # also evaluate the Laplace mechanism
 //	recbench -wiki wiki-Vote.txt  # use the real SNAP dataset when available
+//	recbench -servebench BENCH_serve.json  # serving-engine perf snapshot
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit JSON instead of text tables")
 		sweep      = flag.Bool("sweep", false, "run the epsilon sweep ablation instead of the figures")
 		compare    = flag.Bool("compare", false, "run the §7.2 Laplace-vs-Exponential comparison table")
+		servebench = flag.String("servebench", "", "run the serving benchmark and write a perf snapshot to this file (e.g. BENCH_serve.json)")
 	)
 	flag.Parse()
 
@@ -46,6 +48,13 @@ func main() {
 		TwitterPath:   *twitter,
 	}
 
+	if *servebench != "" {
+		if err := runServeBench(opts, *servebench); err != nil {
+			fmt.Fprintln(os.Stderr, "recbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *sweep {
 		if err := runSweep(opts); err != nil {
 			fmt.Fprintln(os.Stderr, "recbench:", err)

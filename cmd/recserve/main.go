@@ -35,6 +35,7 @@ func main() {
 		mech     = flag.String("mechanism", "exponential", "mechanism: exponential, laplace, smoothing")
 		addr     = flag.String("addr", ":8080", "listen address")
 		seed     = flag.Int64("seed", 0, "seed (0 = time-based; use non-zero only for testing)")
+		cache    = flag.Int("cache", socialrec.DefaultCacheSize, "utility-vector cache entries (0 disables caching)")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -76,6 +77,7 @@ func main() {
 	srv, err := recserver.New(recserver.Config{
 		Recommender:  rec,
 		TotalEpsilon: *budget,
+		CacheSize:    *cache,
 	})
 	if err != nil {
 		log.Fatalf("recserve: %v", err)

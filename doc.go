@@ -33,4 +33,28 @@
 // your own graph reproduces the paper's headline finding: good private
 // social recommendations are feasible only for a small subset of users or
 // for lenient privacy parameters.
+//
+// # Serving at scale
+//
+// Every recommendation factors into a deterministic pre-processing stage —
+// computing the target's utility vector, candidate list, and u_max over the
+// immutable graph snapshot — followed by a randomized mechanism draw. Only
+// the draw carries the privacy guarantee, and its noise is fresh on every
+// call. The Recommender can therefore memoize the pre-processing stage in a
+// sharded LRU cache (WithCache, EnableCache) without touching the ε-DP
+// analysis: caching is pure pre-processing in the differential privacy
+// sense, the mechanism's output distribution is bit-for-bit the same with
+// and without it, and the cached raw utilities never leave the process.
+// Repeated-target serving then costs O(candidates) per request instead of a
+// full graph scan.
+//
+// BatchRecommend and Precompute fan work for many targets across a
+// runtime.NumCPU() worker pool, and RefreshSnapshot swaps in a new graph
+// snapshot atomically — advancing the cache epoch so stale entries lazily
+// expire — for deployments that re-ingest their graph periodically.
+//
+// What caching does NOT change: privacy budgeting. Each served
+// recommendation still releases ε of information (the Accountant composes
+// budgets additively regardless of cache hits), because the mechanism draw,
+// not the utility computation, is what consumes the budget.
 package socialrec

@@ -8,7 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
+	"slices"
 
 	"socialrec"
 )
@@ -81,7 +81,7 @@ func pickByDegree(g *socialrec.Graph) []int {
 	for v := 0; v < g.NumNodes(); v++ {
 		all[v] = nd{v, g.Degree(v)}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].deg < all[j].deg })
+	slices.SortFunc(all, func(a, b nd) int { return a.deg - b.deg })
 	// Lowest-degree user that still has at least 2 friends (so candidates
 	// with common neighbors exist).
 	low := all[0].node

@@ -1,0 +1,3 @@
+module socialrec
+
+go 1.24

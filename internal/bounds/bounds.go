@@ -7,10 +7,11 @@
 package bounds
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Errors returned on invalid parameters.
@@ -89,7 +90,7 @@ func TightestAccuracyBound(u []float64, eps float64, t int) (float64, error) {
 	// Sort the distinct utilities descending; each threshold θ strictly
 	// below umax induces c = 1 - θ/umax and k = #{u_i > θ}.
 	sorted := append([]float64(nil), u...)
-	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	slices.SortFunc(sorted, func(a, b float64) int { return cmp.Compare(b, a) })
 	best := 1.0
 	k := 0
 	for idx := 0; idx < n; idx++ {

@@ -2,7 +2,7 @@ package bounds
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"socialrec/internal/utility"
 )
@@ -80,7 +80,7 @@ func SensitiveCommonNeighborsCeiling(g utility.View, r int, eps float64, policy 
 	}
 	var neighbors []int
 	g.ForEachOutNeighbor(r, func(w int) { neighbors = append(neighbors, w) })
-	sort.Ints(neighbors)
+	slices.Sort(neighbors)
 	dr := g.OutDegree(r)
 	// Edges from x to distinct existing neighbors of r. When u_max = d_r
 	// there are not enough existing neighbors to beat the incumbent, so the

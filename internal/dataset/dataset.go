@@ -14,7 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -106,7 +106,7 @@ func Read(r io.Reader, opts Options) (*graph.Graph, *IDMap, error) {
 	for l := range labelSet {
 		labels = append(labels, l)
 	}
-	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	slices.Sort(labels)
 	for _, l := range labels {
 		ids.toInternal[l] = len(ids.toExternal)
 		ids.toExternal = append(ids.toExternal, l)
@@ -143,11 +143,11 @@ func Write(w io.Writer, g *graph.Graph) error {
 		return err
 	}
 	edges := g.Edges()
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].From != edges[j].From {
-			return edges[i].From < edges[j].From
+	slices.SortFunc(edges, func(a, b graph.Edge) int {
+		if a.From != b.From {
+			return a.From - b.From
 		}
-		return edges[i].To < edges[j].To
+		return a.To - b.To
 	})
 	for _, e := range edges {
 		if _, err := fmt.Fprintf(bw, "%d\t%d\n", e.From, e.To); err != nil {

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 
 	"socialrec/internal/distribution"
 	"socialrec/internal/graph"
@@ -118,7 +118,7 @@ func RunMechanismComparison(g *graph.Graph, cfg CompareConfig) (CompareSummary, 
 			sum.MaxGap = row.Gap
 		}
 	}
-	sort.Slice(sum.Rows, func(i, j int) bool { return sum.Rows[i].Degree < sum.Rows[j].Degree })
+	slices.SortFunc(sum.Rows, func(a, b CompareRow) int { return a.Degree - b.Degree })
 	return sum, nil
 }
 

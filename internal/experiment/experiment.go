@@ -107,16 +107,19 @@ func Run(g *graph.Graph, cfg Config) ([]Result, error) {
 		}
 	}
 
+	// §7.1: candidates are every node except the target and its existing
+	// neighbors. The vector stage is a pure function of the snapshot and
+	// runs on a worker pool; the mechanism evaluation below stays
+	// sequential so the shared Monte-Carlo RNG keeps results
+	// bit-identical to a fully sequential run.
+	vectors := computeVectors(snap, cfg.Utility, targets)
+
 	lapRNG := distribution.Split(cfg.Seed, "laplace")
-	for _, r := range targets {
-		full, err := cfg.Utility.Vector(snap, r)
-		if err != nil {
+	for j, r := range targets {
+		if err := vectors[j].err; err != nil {
 			return nil, err
 		}
-		// §7.1: candidates are every node except the target and its
-		// existing neighbors.
-		vec := utility.Compact(full, utility.Candidates(snap, r))
-		umax := utility.Max(vec)
+		vec, umax := vectors[j].vec, vectors[j].umax
 		if umax == 0 {
 			// §7.1: omit targets with no non-zero utility recommendation.
 			for i := range results {

@@ -1,9 +1,11 @@
 package experiment
 
 import (
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
+	"strings"
 
 	"socialrec/internal/bounds"
 	"socialrec/internal/distribution"
@@ -76,24 +78,34 @@ func RunEpsilonSweep(g *graph.Graph, cfg SweepConfig) ([]SweepPoint, error) {
 	cells := make(map[string]*cell) // key: eps|class
 	key := func(eps float64, class string) string { return fmt.Sprintf("%g|%s", eps, class) }
 
-	for _, r := range targets {
-		deg := snap.OutDegree(r)
-		var class string
+	// Classify first so targets outside every degree class never pay for a
+	// vector computation, then fan the utility-vector stage across a
+	// worker pool; aggregation stays sequential and deterministic.
+	classOf := func(deg int) string {
 		for _, c := range cfg.Classes {
 			if deg >= c.Lo && deg < c.Hi {
-				class = c.Label
-				break
+				return c.Label
 			}
 		}
-		if class == "" {
-			continue
+		return ""
+	}
+	kept := targets[:0:0]
+	classes := make([]string, 0, len(targets))
+	for _, r := range targets {
+		if class := classOf(snap.OutDegree(r)); class != "" {
+			kept = append(kept, r)
+			classes = append(classes, class)
 		}
-		full, err := cfg.Utility.Vector(snap, r)
-		if err != nil {
+	}
+	vectors := computeVectors(snap, cfg.Utility, kept)
+
+	for j, r := range kept {
+		deg := snap.OutDegree(r)
+		class := classes[j]
+		if err := vectors[j].err; err != nil {
 			return nil, err
 		}
-		vec := utility.Compact(full, utility.Candidates(snap, r))
-		umax := utility.Max(vec)
+		vec, umax := vectors[j].vec, vectors[j].umax
 		if umax == 0 {
 			continue
 		}
@@ -138,11 +150,11 @@ func RunEpsilonSweep(g *graph.Graph, cfg SweepConfig) ([]SweepPoint, error) {
 			})
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Epsilon != out[j].Epsilon {
-			return out[i].Epsilon < out[j].Epsilon
+	slices.SortStableFunc(out, func(a, b SweepPoint) int {
+		if a.Epsilon != b.Epsilon {
+			return cmp.Compare(a.Epsilon, b.Epsilon)
 		}
-		return out[i].Class < out[j].Class
+		return strings.Compare(a.Class, b.Class)
 	})
 	return out, nil
 }

@@ -1,6 +1,6 @@
 package graph
 
-import "sort"
+import "slices"
 
 // CSR is an immutable compressed-sparse-row snapshot of a graph's
 // out-adjacency: neighbors of v are Adj[Index[v]:Index[v+1]], sorted
@@ -44,7 +44,7 @@ func buildCSR(adj []map[int]struct{}, n int) ([]int32, []int32) {
 			row[i] = int32(u)
 			i++
 		}
-		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		slices.Sort(row)
 	}
 	return index, flat
 }

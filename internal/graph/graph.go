@@ -15,7 +15,7 @@ package graph
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Errors returned by graph mutations and queries.
@@ -192,7 +192,7 @@ func (g *Graph) OutNeighbors(v int) []int {
 	for u := range g.out[v] {
 		ns = append(ns, u)
 	}
-	sort.Ints(ns)
+	slices.Sort(ns)
 	return ns
 }
 
@@ -206,7 +206,7 @@ func (g *Graph) InNeighbors(v int) []int {
 	for u := range src {
 		ns = append(ns, u)
 	}
-	sort.Ints(ns)
+	slices.Sort(ns)
 	return ns
 }
 
@@ -244,11 +244,11 @@ func (g *Graph) Edges() []Edge {
 			es = append(es, Edge{From: u, To: v})
 		}
 	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].From != es[j].From {
-			return es[i].From < es[j].From
+	slices.SortFunc(es, func(a, b Edge) int {
+		if a.From != b.From {
+			return a.From - b.From
 		}
-		return es[i].To < es[j].To
+		return a.To - b.To
 	})
 	return es
 }

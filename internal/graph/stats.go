@@ -2,7 +2,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Stats is a structural summary of a graph, used by the audit tooling to
@@ -33,7 +33,7 @@ func ComputeStats(g *Graph) Stats {
 	}
 	degrees := g.DegreeSequence()
 	sorted := append([]int(nil), degrees...)
-	sort.Ints(sorted)
+	slices.Sort(sorted)
 	s.MinDegree = sorted[0]
 	s.MaxDegree = sorted[n-1]
 	s.MedianDegree = sorted[n/2]

@@ -1,0 +1,66 @@
+package mechanism
+
+// Bounded-heap top-k selection. Serving returns small k over large candidate
+// domains, so selection cost should be O(n log k), not the O(n log n) of a
+// full sort or the O(n·k) of repeated scans.
+
+// TopIndices returns the indices of the k largest values in xs, ordered by
+// decreasing value with ties broken toward the lower index — the same order
+// a stable descending sort would produce. It runs in O(n log k) time and
+// O(k) extra space. k must be in [1, len(xs)]; callers validate.
+func TopIndices(xs []float64, k int) []int {
+	// heap is a min-heap over (value, index) holding the best k seen so
+	// far; its root is the weakest of the current top k. "a beats b" means
+	// a has the larger value, or an equal value at a smaller index.
+	heap := make([]int, 0, k)
+	beats := func(a, b int) bool {
+		if xs[a] != xs[b] {
+			return xs[a] > xs[b]
+		}
+		return a < b
+	}
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			weakest := i
+			if l < len(heap) && beats(heap[weakest], heap[l]) {
+				weakest = l
+			}
+			if r < len(heap) && beats(heap[weakest], heap[r]) {
+				weakest = r
+			}
+			if weakest == i {
+				return
+			}
+			heap[i], heap[weakest] = heap[weakest], heap[i]
+			i = weakest
+		}
+	}
+	for i := range xs {
+		if len(heap) < k {
+			heap = append(heap, i)
+			for c := len(heap) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !beats(heap[p], heap[c]) {
+					break
+				}
+				heap[p], heap[c] = heap[c], heap[p]
+				c = p
+			}
+			continue
+		}
+		if beats(i, heap[0]) {
+			heap[0] = i
+			siftDown(0)
+		}
+	}
+	// Pop in weakest-first order, filling the result back to front.
+	out := make([]int, len(heap))
+	for n := len(heap) - 1; n >= 0; n-- {
+		out[n] = heap[0]
+		heap[0] = heap[n]
+		heap = heap[:n]
+		siftDown(0)
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package mechanism
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// referenceTopK is the behavior TopIndices must reproduce: a stable
+// descending sort of the indices by value.
+func referenceTopK(xs []float64, k int) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	slices.SortStableFunc(idx, func(a, b int) int {
+		switch {
+		case xs[a] > xs[b]:
+			return -1
+		case xs[a] < xs[b]:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return idx[:k]
+}
+
+func TestTopIndicesMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			// Coarse values force plenty of ties.
+			xs[i] = float64(rng.Intn(6))
+		}
+		k := 1 + rng.Intn(n)
+		got := TopIndices(xs, k)
+		want := referenceTopK(xs, k)
+		if !slices.Equal(got, want) {
+			t.Fatalf("trial %d (n=%d k=%d xs=%v): got %v want %v", trial, n, k, xs, got, want)
+		}
+	}
+}
+
+func TestTopIndicesFullLength(t *testing.T) {
+	xs := []float64{1, 3, 3, 0, 5}
+	got := TopIndices(xs, len(xs))
+	want := []int{4, 1, 2, 0, 3}
+	if !slices.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func BenchmarkTopIndices(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopIndices(xs, 10)
+	}
+}

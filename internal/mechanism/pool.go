@@ -1,0 +1,28 @@
+package mechanism
+
+import "sync"
+
+// Per-call scratch vectors (exponential weights, Laplace-noised copies) are
+// the dominant steady-state allocation of the serving hot path once utility
+// vectors are cached. A sync.Pool recycles them so repeated Recommend calls
+// are allocation-free; buffers are length-adjusted per use and never escape
+// to callers.
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		s := make([]float64, 0, 1024)
+		return &s
+	},
+}
+
+// getScratch returns a zero-length scratch slice with capacity >= n and the
+// pool handle to return it with.
+func getScratch(n int) (*[]float64, []float64) {
+	p := scratchPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, 0, n)
+	}
+	return p, (*p)[:0]
+}
+
+func putScratch(p *[]float64) { scratchPool.Put(p) }

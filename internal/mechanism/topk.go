@@ -32,11 +32,12 @@ func TopKLaplace(eps, sens float64, u []float64, k int, rng *rand.Rand) ([]int, 
 		return nil, fmt.Errorf("mechanism: top-k k=%d outside [1, %d]", k, len(u))
 	}
 	noise := distribution.Laplace{Loc: 0, Scale: sens / eps}
-	noisy := make([]float64, len(u))
-	for i, x := range u {
-		noisy[i] = x + noise.Sample(rng)
+	handle, noisy := getScratch(len(u))
+	defer putScratch(handle)
+	for _, x := range u {
+		noisy = append(noisy, x+noise.Sample(rng))
 	}
-	return topIndices(noisy, k), nil
+	return TopIndices(noisy, k), nil
 }
 
 // TopKPeel returns k distinct candidate indices by running the exponential
@@ -80,28 +81,6 @@ func TopKPeel(eps, sens float64, u []float64, k int, rng *rand.Rand) ([]int, err
 	return out, nil
 }
 
-// topIndices returns the indices of the k largest values in xs, ordered by
-// decreasing value. Selection is O(n·k), fine for the small k of
-// recommendation lists.
-func topIndices(xs []float64, k int) []int {
-	chosen := make([]bool, len(xs))
-	out := make([]int, 0, k)
-	for len(out) < k {
-		best := -1
-		for i, x := range xs {
-			if chosen[i] {
-				continue
-			}
-			if best < 0 || x > xs[best] {
-				best = i
-			}
-		}
-		chosen[best] = true
-		out = append(out, best)
-	}
-	return out
-}
-
 // SetAccuracy returns the accuracy of a k-recommendation set under the
 // natural extension of Definition 2: the sum of the chosen candidates'
 // utilities divided by the k largest utilities' sum (what the non-private
@@ -113,7 +92,7 @@ func SetAccuracy(u []float64, chosen []int) (float64, error) {
 	if len(chosen) == 0 || len(chosen) > len(u) {
 		return 0, fmt.Errorf("mechanism: set accuracy needs 1..%d choices, got %d", len(u), len(chosen))
 	}
-	ideal := topIndices(u, len(chosen))
+	ideal := TopIndices(u, len(chosen))
 	var idealSum float64
 	for _, i := range ideal {
 		idealSum += u[i]

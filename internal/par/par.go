@@ -1,0 +1,50 @@
+// Package par provides the bounded worker pool shared by batch serving
+// (socialrec.BatchRecommend and friends) and the experiment pipeline's
+// utility-vector fan-out. Work items are indices, so callers keep results
+// positionally aligned regardless of worker interleaving.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach calls fn(0..n-1) across a worker pool bounded by
+// runtime.NumCPU(). It returns once every call has completed. fn must be
+// safe for concurrent invocation.
+func ForEach(n int, fn func(i int)) {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Map computes fn(0..n-1) on the ForEach pool and returns the results in
+// index order.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -12,6 +12,18 @@
 // the target's own degree and the public ε, plus the mechanism's expected
 // accuracy, which is intended for the graph operator, not end users; deploy
 // /audit behind operator authentication.
+//
+// Serving performance: Config.CacheSize enables the Recommender's
+// utility-vector cache, which memoizes the deterministic pre-noise stage of
+// each request (utility vector, candidate list, u_max) per target. This is
+// safe under differential privacy because the cached values are pure
+// pre-processing over the immutable graph snapshot: the DP noise — the only
+// randomized, privacy-bearing part of a recommendation — is drawn fresh on
+// every request after the cache lookup, so the mechanism's output
+// distribution (and hence its ε guarantee) is identical with and without
+// the cache. Cached utilities are raw, non-private values; they live only
+// in process memory and are never serialized into any response. Cache
+// hit/miss counters are exported on /healthz for monitoring.
 package recserver
 
 import (
@@ -35,6 +47,15 @@ type Config struct {
 	TotalEpsilon float64
 	// MaxK caps top-k list sizes; 0 means 10.
 	MaxK int
+	// CacheSize enables the Recommender's utility-vector cache with this
+	// entry cap (use socialrec.DefaultCacheSize for a sensible default).
+	// Zero leaves caching as configured on the Recommender itself; negative
+	// values enable the default-sized cache. Note this mutates the shared
+	// Recommender: enabling is first-wins (EnableCache semantics), so if
+	// the Recommender already has a cache — from WithCache or another
+	// Server — this size is ignored. See the package comment for why
+	// caching is DP-safe.
+	CacheSize int
 	// Logf receives request logs; nil means log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -64,6 +85,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if s.logf == nil {
 		s.logf = log.Printf
+	}
+	if cfg.CacheSize != 0 {
+		cfg.Recommender.EnableCache(cfg.CacheSize)
 	}
 	if cfg.TotalEpsilon > 0 {
 		acct, err := socialrec.NewAccountant(cfg.Recommender, cfg.TotalEpsilon)
@@ -102,8 +126,20 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 	s.writeJSON(w, status, errorBody{Error: msg})
 }
 
+type healthResponse struct {
+	Status string `json:"status"`
+	// Cache reports utility-vector cache effectiveness; omitted when
+	// caching is disabled. Counters are aggregates over raw pre-processing
+	// reuse and reveal nothing about individual requests or edges.
+	Cache *socialrec.CacheStats `json:"cache,omitempty"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := healthResponse{Status: "ok"}
+	if st, ok := s.rec.CacheStats(); ok {
+		resp.Cache = &st
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) targetParam(r *http.Request) (int, error) {

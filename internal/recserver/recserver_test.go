@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 
 	"socialrec"
@@ -227,4 +228,88 @@ func itoa(n int) string {
 		buf[i] = '-'
 	}
 	return string(buf[i:])
+}
+
+// cachedServerPair builds two servers over the same graph and seed, one
+// cached and one not, with budgeting disabled so the hammer below can issue
+// unlimited requests.
+func cachedServerPair(t *testing.T) (cached, plain *Server, g *socialrec.Graph) {
+	t.Helper()
+	g, err := socialrec.GenerateSocialGraph(400, 3000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(cacheSize int) *Server {
+		rec, err := socialrec.NewRecommender(g, socialrec.WithEpsilon(1), socialrec.WithSeed(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := New(Config{Recommender: rec, CacheSize: cacheSize, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	return mk(256), mk(0), g
+}
+
+func TestHealthReportsCacheStats(t *testing.T) {
+	cached, plain, _ := cachedServerPair(t)
+	if _, body := get(t, plain, "/healthz"); body["cache"] != nil {
+		t.Errorf("uncached server reports cache stats: %v", body)
+	}
+	get(t, cached, "/v1/recommend?target=0")
+	get(t, cached, "/v1/recommend?target=0")
+	_, body := get(t, cached, "/healthz")
+	stats, ok := body["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("no cache stats on /healthz: %v", body)
+	}
+	if stats["hits"].(float64)+stats["misses"].(float64) < 2 {
+		t.Errorf("cache counters not advancing: %v", stats)
+	}
+}
+
+// TestConcurrentCachedServer hammers the cached server from parallel
+// goroutines under -race and checks every response body against the
+// uncached server's response for the same request.
+func TestConcurrentCachedServer(t *testing.T) {
+	cached, plain, g := cachedServerPair(t)
+	paths := make([]string, 0, 60)
+	want := make(map[string]string, 60)
+	for target := 0; target < 20; target++ {
+		for _, suffix := range []string{"", "&k=3"} {
+			path := "/v1/recommend?target=" + itoa(target%g.NumNodes()) + suffix
+			req := httptest.NewRequest(http.MethodGet, path, nil)
+			w := httptest.NewRecorder()
+			plain.ServeHTTP(w, req)
+			paths = append(paths, path)
+			want[path] = w.Body.String()
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for worker := 0; worker < 8; worker++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				path := paths[(worker+i)%len(paths)]
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				w := httptest.NewRecorder()
+				cached.ServeHTTP(w, req)
+				if got := w.Body.String(); got != want[path] {
+					select {
+					case errs <- path + ": " + got + " != " + want[path]:
+					default:
+					}
+				}
+			}
+		}(worker)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
 }

@@ -1,6 +1,6 @@
 package stats
 
-import "sort"
+import "slices"
 
 // GroupedSeries aggregates (key, value) observations by integer key and
 // reports the mean value per key. It backs Figure 2(c) of the paper, where
@@ -34,7 +34,7 @@ func (g *GroupedSeries) Points() []GroupPoint {
 	for k := range g.sums {
 		keys = append(keys, k)
 	}
-	sort.Ints(keys)
+	slices.Sort(keys)
 	out := make([]GroupPoint, len(keys))
 	for i, k := range keys {
 		out[i] = GroupPoint{Key: k, Mean: g.sums[k] / float64(g.counts[k]), Count: g.counts[k]}

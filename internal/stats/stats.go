@@ -7,6 +7,7 @@ package stats
 import (
 	"errors"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -89,7 +90,7 @@ func Quantile(xs []float64, q float64) (float64, error) {
 		return 0, errors.New("stats: quantile q outside [0,1]")
 	}
 	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
+	slices.Sort(s)
 	if len(s) == 1 {
 		return s[0], nil
 	}
@@ -133,7 +134,7 @@ type CDFPoint struct {
 func CDF(xs []float64, grid []float64) []CDFPoint {
 	out := make([]CDFPoint, len(grid))
 	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
+	slices.Sort(s)
 	for i, g := range grid {
 		// Count of sorted values <= g via binary search.
 		n := sort.SearchFloat64s(s, math.Nextafter(g, math.Inf(1)))

@@ -51,6 +51,21 @@ func WithSeed(seed int64) Option {
 	}
 }
 
+// WithCache enables the utility-vector cache with the given entry cap
+// (DefaultCacheSize when size <= 0). The cache memoizes the deterministic
+// pre-noise stage of serving and leaves every mechanism's output
+// distribution — and therefore the ε-DP guarantee — unchanged; see
+// Recommender.EnableCache.
+func WithCache(size int) Option {
+	return func(r *Recommender) error {
+		if size <= 0 {
+			size = DefaultCacheSize
+		}
+		r.pendingCacheSize = size
+		return nil
+	}
+}
+
 // NonPrivate disables privacy protection entirely (R_best). It exists so
 // that examples and benchmarks can report the non-private baseline; never
 // ship it to users whose graph edges are sensitive.

@@ -41,7 +41,7 @@ func (r *Recommender) AccuracyCeilingWithPolicy(target int, policy EdgePolicy) (
 	if _, ok := r.util.(utility.CommonNeighbors); !ok {
 		return SensitiveCeiling{}, fmt.Errorf("socialrec: sensitive-edge ceilings are defined for the common-neighbors utility, not %s", r.util.Name())
 	}
-	res, err := bounds.SensitiveCommonNeighborsCeiling(r.snap, target, r.epsilon, policy)
+	res, err := bounds.SensitiveCommonNeighborsCeiling(r.state.Load().snap, target, r.epsilon, policy)
 	if err != nil {
 		return SensitiveCeiling{}, err
 	}

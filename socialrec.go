@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"socialrec/internal/bounds"
 	"socialrec/internal/distribution"
@@ -103,18 +105,45 @@ type Recommendation struct {
 	MaxUtility float64
 }
 
+// snapState bundles every piece of Recommender state derived from one graph
+// snapshot: the immutable CSR itself, the utility sensitivity Δf on it, the
+// smoothing weight x (MechanismSmoothing only), and the cache epoch. The
+// bundle is swapped atomically by RefreshSnapshot, so concurrent requests
+// always observe a consistent (snapshot, Δf, x, epoch) quadruple.
+type snapState struct {
+	snap  *graph.CSR
+	sens  float64
+	x     float64
+	epoch uint64
+	// mech is the mechanism instance for this state, built once so the
+	// serving hot path avoids a per-call interface allocation.
+	mech mechanism.Mechanism
+}
+
 // Recommender makes differentially private social recommendations over a
 // fixed snapshot of a graph. It is safe for concurrent use after creation;
 // per-call randomness is supplied through an internal mutex-free split RNG
 // keyed by target, so results are deterministic for a fixed seed.
+//
+// An optional utility-vector cache (WithCache / EnableCache) memoizes the
+// deterministic pre-processing stage shared by Recommend, RecommendTopK,
+// ExpectedAccuracy, and AccuracyCeiling; see cache.go for why this is safe
+// under differential privacy.
 type Recommender struct {
-	snap    *graph.CSR
 	util    UtilityFunction
 	kind    MechanismKind
 	epsilon float64
-	sens    float64
 	seed    int64
-	x       float64 // smoothing weight (MechanismSmoothing only)
+
+	state atomic.Pointer[snapState]
+	cache atomic.Pointer[vectorCache]
+
+	// refreshMu serializes RefreshSnapshot writers; readers never take it.
+	refreshMu sync.Mutex
+
+	// pendingCacheSize carries the WithCache option value from option
+	// application to construction.
+	pendingCacheSize int
 }
 
 // Errors returned by the Recommender.
@@ -127,13 +156,12 @@ var (
 // NewRecommender builds a Recommender over a snapshot of g. The default
 // configuration is the exponential mechanism with ε = 1 and the
 // common-neighbors utility. Mutating g afterwards does not affect the
-// Recommender.
+// Recommender (use RefreshSnapshot to pick up graph changes).
 func NewRecommender(g *Graph, opts ...Option) (*Recommender, error) {
 	if g == nil {
 		return nil, ErrNilGraph
 	}
 	r := &Recommender{
-		snap:    g.Snapshot(),
 		util:    utility.CommonNeighbors{},
 		kind:    MechanismExponential,
 		epsilon: 1,
@@ -147,22 +175,77 @@ func NewRecommender(g *Graph, opts ...Option) (*Recommender, error) {
 	if r.kind != MechanismNone && !(r.epsilon > 0) {
 		return nil, fmt.Errorf("socialrec: epsilon %g must be positive", r.epsilon)
 	}
-	r.sens = r.util.Sensitivity(r.snap)
+	st, err := r.buildState(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	r.state.Store(st)
+	if r.pendingCacheSize != 0 {
+		r.EnableCache(r.pendingCacheSize)
+	}
+	return r, nil
+}
+
+// buildState computes every snapshot-derived quantity for g at the given
+// cache epoch.
+func (r *Recommender) buildState(g *Graph, epoch uint64) (*snapState, error) {
+	st := &snapState{snap: g.Snapshot(), epoch: epoch}
+	st.sens = r.util.Sensitivity(st.snap)
 	if r.kind == MechanismSmoothing {
-		x, err := mechanism.SmoothingXForEpsilon(r.epsilon, r.snap.NumNodes())
+		x, err := mechanism.SmoothingXForEpsilon(r.epsilon, st.snap.NumNodes())
 		if err != nil {
 			return nil, err
 		}
-		r.x = x
+		st.x = x
 	}
-	return r, nil
+	st.mech = r.buildMech(st)
+	return st, nil
+}
+
+// RefreshSnapshot atomically replaces the Recommender's graph snapshot with
+// a fresh snapshot of g, recomputing the sensitivity and smoothing weight
+// for the new graph. In-flight requests keep using the snapshot they
+// started with; new requests see the new one. The utility-vector cache (if
+// enabled) advances to a new epoch, lazily invalidating every entry of the
+// old snapshot — serving continues without a stop-the-world flush.
+func (r *Recommender) RefreshSnapshot(g *Graph) error {
+	if g == nil {
+		return ErrNilGraph
+	}
+	r.refreshMu.Lock()
+	defer r.refreshMu.Unlock()
+	st, err := r.buildState(g, r.state.Load().epoch+1)
+	if err != nil {
+		return err
+	}
+	r.state.Store(st)
+	return nil
+}
+
+// EnableCache turns on the utility-vector cache with the given entry cap
+// (DefaultCacheSize when size <= 0). It is a no-op if a cache is already
+// enabled. Enabling the cache never changes the distribution of any
+// recommendation; it only skips recomputation of the deterministic
+// pre-noise stage.
+func (r *Recommender) EnableCache(size int) {
+	r.cache.CompareAndSwap(nil, newVectorCache(size))
+}
+
+// CacheStats returns a snapshot of the utility-vector cache's counters. The
+// second return is false when no cache is enabled.
+func (r *Recommender) CacheStats() (CacheStats, bool) {
+	c := r.cache.Load()
+	if c == nil {
+		return CacheStats{}, false
+	}
+	return c.stats(), true
 }
 
 // Epsilon returns the configured privacy parameter.
 func (r *Recommender) Epsilon() float64 { return r.epsilon }
 
 // Sensitivity returns the Δf in use for the configured utility.
-func (r *Recommender) Sensitivity() float64 { return r.sens }
+func (r *Recommender) Sensitivity() float64 { return r.state.Load().sens }
 
 // Utility returns the configured utility function.
 func (r *Recommender) Utility() UtilityFunction { return r.util }
@@ -170,45 +253,87 @@ func (r *Recommender) Utility() UtilityFunction { return r.util }
 // Mechanism returns the configured mechanism kind.
 func (r *Recommender) Mechanism() MechanismKind { return r.kind }
 
-func (r *Recommender) mech() mechanism.Mechanism {
+func (r *Recommender) buildMech(st *snapState) mechanism.Mechanism {
 	switch r.kind {
 	case MechanismLaplace:
-		return mechanism.Laplace{Epsilon: r.epsilon, Sensitivity: r.sens}
+		return mechanism.Laplace{Epsilon: r.epsilon, Sensitivity: st.sens}
 	case MechanismSmoothing:
-		return mechanism.Smoothing{X: r.x, Base: mechanism.Best{}}
+		return mechanism.Smoothing{X: st.x, Base: mechanism.Best{}}
 	case MechanismNone:
 		return mechanism.Best{}
 	default:
-		return mechanism.Exponential{Epsilon: r.epsilon, Sensitivity: r.sens}
+		return mechanism.Exponential{Epsilon: r.epsilon, Sensitivity: st.sens}
 	}
+}
+
+// computeVector runs the deterministic pre-processing stage for target: the
+// full utility vector, compacted over the candidate domain, plus — for the
+// exponential mechanism — the cumulative weight vector that turns each
+// subsequent draw into an O(log n) binary search. All of it is a pure
+// function of the snapshot and the public (ε, Δf), so precomputing it does
+// not change the mechanism's output distribution.
+func (r *Recommender) computeVector(st *snapState, target int) (*cachedVector, error) {
+	full, err := r.util.Vector(st.snap, target)
+	if err != nil {
+		return nil, err
+	}
+	candidates := utility.Candidates(st.snap, target)
+	vec := utility.Compact(full, candidates)
+	cv := &cachedVector{vec: vec, candidates: candidates, umax: utility.Max(vec)}
+	// The CDF is only worth materializing when a cache will amortize it;
+	// uncached recommenders keep the mechanism's allocation-free pooled
+	// sampling path instead.
+	if cv.umax > 0 && r.cache.Load() != nil {
+		if e, ok := st.mech.(mechanism.Exponential); ok {
+			cdf, err := e.CDF(vec)
+			if err != nil {
+				return nil, err
+			}
+			cv.cdf = cdf
+		}
+	}
+	return cv, nil
 }
 
 // vector returns the compacted utility vector over the candidate domain
 // (all nodes except the target and its existing out-neighbors), the
 // candidate index list mapping compact positions back to node IDs, and the
-// maximum utility.
-func (r *Recommender) vector(target int) (vec []float64, candidates []int, umax float64, err error) {
-	if target < 0 || target >= r.snap.NumNodes() {
-		return nil, nil, 0, fmt.Errorf("%w: %d", ErrBadTarget, target)
+// maximum utility. Results come from the cache when one is enabled; the
+// returned slices are shared and must not be mutated.
+func (r *Recommender) vector(st *snapState, target int) (*cachedVector, error) {
+	if target < 0 || target >= st.snap.NumNodes() {
+		return nil, fmt.Errorf("%w: %d", ErrBadTarget, target)
 	}
-	full, err := r.util.Vector(r.snap, target)
+	c := r.cache.Load()
+	if c != nil {
+		if cv, ok := c.get(st.epoch, target); ok {
+			return cv.check(target)
+		}
+	}
+	cv, err := r.computeVector(st, target)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, err
 	}
-	candidates = utility.Candidates(r.snap, target)
-	vec = utility.Compact(full, candidates)
-	umax = utility.Max(vec)
-	if umax == 0 {
-		return nil, nil, 0, fmt.Errorf("%w: node %d", ErrNoCandidates, target)
+	if c != nil {
+		// Negative results (umax == 0) are cached too: hopeless targets are
+		// common in sparse graphs and would otherwise rescan every time.
+		c.put(st.epoch, target, cv)
 	}
-	return vec, candidates, umax, nil
+	return cv.check(target)
+}
+
+func (cv *cachedVector) check(target int) (*cachedVector, error) {
+	if cv.umax == 0 {
+		return nil, fmt.Errorf("%w: node %d", ErrNoCandidates, target)
+	}
+	return cv, nil
 }
 
 // Recommend returns one private recommendation for the target node. Each
 // call consumes fresh randomness; repeated calls for the same target release
 // additional information and compose their ε budgets additively.
 func (r *Recommender) Recommend(target int) (Recommendation, error) {
-	return r.recommend(target, distribution.Split(r.seed, fmt.Sprintf("recommend/%d", target)))
+	return r.recommend(target, distribution.SplitN(r.seed, "recommend", target))
 }
 
 // RecommendWithRNG is Recommend with caller-supplied randomness, for
@@ -218,15 +343,24 @@ func (r *Recommender) RecommendWithRNG(target int, rng *rand.Rand) (Recommendati
 }
 
 func (r *Recommender) recommend(target int, rng *rand.Rand) (Recommendation, error) {
-	vec, candidates, umax, err := r.vector(target)
+	st := r.state.Load()
+	cv, err := r.vector(st, target)
 	if err != nil {
 		return Recommendation{}, err
 	}
-	idx, err := r.mech().Recommend(vec, rng)
-	if err != nil {
-		return Recommendation{}, err
+	var idx int
+	if cv.cdf != nil {
+		// Precomputed exponential CDF: same single rng.Float64() and the
+		// same inverse-CDF inversion as Exponential.Recommend, via binary
+		// search instead of a linear weight pass.
+		idx = mechanism.SampleCDF(cv.cdf, rng)
+	} else {
+		idx, err = st.mech.Recommend(cv.vec, rng)
+		if err != nil {
+			return Recommendation{}, err
+		}
 	}
-	return Recommendation{Target: target, Node: candidates[idx], Utility: vec[idx], MaxUtility: umax}, nil
+	return Recommendation{Target: target, Node: cv.candidates[idx], Utility: cv.vec[idx], MaxUtility: cv.umax}, nil
 }
 
 // ExpectedAccuracy returns the expected accuracy (Definition 2: expected
@@ -234,16 +368,16 @@ func (r *Recommender) recommend(target int, rng *rand.Rand) (Recommendation, err
 // exact for the exponential, smoothing, and non-private mechanisms and a
 // 1,000-trial Monte-Carlo estimate for Laplace.
 func (r *Recommender) ExpectedAccuracy(target int) (float64, error) {
-	vec, _, _, err := r.vector(target)
+	st := r.state.Load()
+	cv, err := r.vector(st, target)
 	if err != nil {
 		return 0, err
 	}
-	m := r.mech()
-	if d, ok := m.(mechanism.Distribution); ok {
-		return mechanism.ExpectedAccuracy(d, vec)
+	if d, ok := st.mech.(mechanism.Distribution); ok {
+		return mechanism.ExpectedAccuracy(d, cv.vec)
 	}
-	rng := distribution.Split(r.seed, fmt.Sprintf("accuracy/%d", target))
-	return mechanism.MonteCarloAccuracy(m, vec, mechanism.DefaultLaplaceTrials, rng)
+	rng := distribution.SplitN(r.seed, "accuracy", target)
+	return mechanism.MonteCarloAccuracy(st.mech, cv.vec, mechanism.DefaultLaplaceTrials, rng)
 }
 
 // AccuracyCeiling returns the Corollary 1 upper bound on the expected
@@ -252,12 +386,13 @@ func (r *Recommender) ExpectedAccuracy(target int) (float64, error) {
 // Bound" curve. A ceiling near zero means privacy makes useful
 // recommendations for this node impossible.
 func (r *Recommender) AccuracyCeiling(target int) (float64, error) {
-	vec, _, umax, err := r.vector(target)
+	st := r.state.Load()
+	cv, err := r.vector(st, target)
 	if err != nil {
 		return 0, err
 	}
-	t := r.util.RewireCount(umax, r.snap.OutDegree(target))
-	return bounds.TightestAccuracyBound(vec, r.epsilon, t)
+	t := r.util.RewireCount(cv.umax, st.snap.OutDegree(target))
+	return bounds.TightestAccuracyBound(cv.vec, r.epsilon, t)
 }
 
 // EpsilonFloor returns the minimum ε (leading order) at which a
@@ -266,7 +401,8 @@ func (r *Recommender) AccuracyCeiling(target int) (float64, error) {
 // NaN for utilities without a specific theorem (use Theorem 1 via
 // GenericEpsilonFloor instead).
 func (r *Recommender) EpsilonFloor(targetDegree int) float64 {
-	n := r.snap.NumNodes()
+	snap := r.state.Load().snap
+	n := snap.NumNodes()
 	switch u := r.util.(type) {
 	case utility.CommonNeighbors:
 		eps, err := bounds.Theorem2Epsilon(n, targetDegree)
@@ -275,7 +411,7 @@ func (r *Recommender) EpsilonFloor(targetDegree int) float64 {
 		}
 		return eps
 	case utility.WeightedPaths:
-		eps, err := bounds.Theorem3Epsilon(n, targetDegree, r.snap.MaxDegree(), u.Gamma)
+		eps, err := bounds.Theorem3Epsilon(n, targetDegree, snap.MaxDegree(), u.Gamma)
 		if err != nil {
 			return math.NaN()
 		}
@@ -289,7 +425,8 @@ func (r *Recommender) EpsilonFloor(targetDegree int) float64 {
 // any exchangeable, concentrated utility function can support constant
 // accuracy on this graph, given its maximum degree.
 func (r *Recommender) GenericEpsilonFloor() float64 {
-	eps, err := bounds.Theorem1Epsilon(r.snap.NumNodes(), r.snap.MaxDegree())
+	snap := r.state.Load().snap
+	eps, err := bounds.Theorem1Epsilon(snap.NumNodes(), snap.MaxDegree())
 	if err != nil {
 		return math.NaN()
 	}

@@ -3,7 +3,7 @@ package socialrec
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"socialrec/internal/distribution"
 	"socialrec/internal/mechanism"
@@ -25,7 +25,7 @@ import (
 // strictly harsher accuracy limits than single ones; expect noticeably
 // worse per-set accuracy as k grows.
 func (r *Recommender) RecommendTopK(target, k int) ([]Recommendation, error) {
-	return r.recommendTopK(target, k, distribution.Split(r.seed, fmt.Sprintf("topk/%d/%d", target, k)))
+	return r.recommendTopK(target, k, distribution.SplitN(r.seed, "topk", target*1048576+k))
 }
 
 // RecommendTopKWithRNG is RecommendTopK with caller-supplied randomness.
@@ -34,10 +34,12 @@ func (r *Recommender) RecommendTopKWithRNG(target, k int, rng *rand.Rand) ([]Rec
 }
 
 func (r *Recommender) recommendTopK(target, k int, rng *rand.Rand) ([]Recommendation, error) {
-	vec, candidates, umax, err := r.vector(target)
+	st := r.state.Load()
+	cv, err := r.vector(st, target)
 	if err != nil {
 		return nil, err
 	}
+	vec, candidates, umax := cv.vec, cv.candidates, cv.umax
 	if k < 1 || k > len(vec) {
 		return nil, fmt.Errorf("socialrec: k=%d outside [1, %d] for node %d", k, len(vec), target)
 	}
@@ -45,13 +47,13 @@ func (r *Recommender) recommendTopK(target, k int, rng *rand.Rand) ([]Recommenda
 	var picked []int
 	switch r.kind {
 	case MechanismLaplace:
-		picked, err = mechanism.TopKLaplace(r.epsilon, r.sens, vec, k, rng)
+		picked, err = mechanism.TopKLaplace(r.epsilon, st.sens, vec, k, rng)
 	case MechanismExponential:
-		picked, err = mechanism.TopKPeel(r.epsilon, r.sens, vec, k, rng)
+		picked, err = mechanism.TopKPeel(r.epsilon, st.sens, vec, k, rng)
 	case MechanismSmoothing:
 		picked, err = r.smoothingTopK(vec, k, rng)
 	default: // MechanismNone
-		picked, err = exactTopK(vec, k)
+		picked = mechanism.TopIndices(vec, k)
 	}
 	if err != nil {
 		return nil, err
@@ -61,40 +63,67 @@ func (r *Recommender) recommendTopK(target, k int, rng *rand.Rand) ([]Recommenda
 	for i, idx := range picked {
 		out[i] = Recommendation{Target: target, Node: candidates[idx], Utility: vec[idx], MaxUtility: umax}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Utility > out[j].Utility })
+	slices.SortStableFunc(out, func(a, b Recommendation) int {
+		switch {
+		case a.Utility > b.Utility:
+			return -1
+		case a.Utility < b.Utility:
+			return 1
+		default:
+			return 0
+		}
+	})
 	return out, nil
 }
 
 // smoothingTopK draws k distinct candidates from A_S(x') without
 // replacement, where x' is derated so that k-fold composition stays within
-// the Recommender's ε.
+// the Recommender's ε. Instead of rejection-sampling until k distinct
+// candidates appear — whose worst case is unbounded when the smoothing
+// distribution concentrates on few winners — it computes the closed-form
+// A_S(x') probabilities once and then draws from the distribution
+// renormalized over the not-yet-chosen candidates, which is exactly the
+// conditional law the rejection loop converges to, in guaranteed O(k·n).
 func (r *Recommender) smoothingTopK(vec []float64, k int, rng *rand.Rand) ([]int, error) {
 	x, err := mechanism.SmoothingXForEpsilon(r.epsilon/float64(k), len(vec))
 	if err != nil {
 		return nil, err
 	}
 	s := mechanism.Smoothing{X: x, Base: mechanism.Best{}}
-	chosen := make(map[int]bool, k)
+	p, err := s.Probabilities(vec)
+	if err != nil {
+		return nil, err
+	}
+
+	chosen := newBitset(len(p))
+	remaining := 1.0 // total probability mass of the unchosen candidates
 	out := make([]int, 0, k)
 	for len(out) < k {
-		idx, err := s.Recommend(vec, rng)
-		if err != nil {
-			return nil, err
+		t := rng.Float64() * remaining
+		pick := -1
+		var acc float64
+		for i, pi := range p {
+			if chosen.has(i) {
+				continue
+			}
+			pick = i
+			acc += pi
+			if t < acc {
+				break
+			}
 		}
-		if chosen[idx] {
-			continue // rejection: draw again until distinct
-		}
-		chosen[idx] = true
-		out = append(out, idx)
+		// pick falls through to the last unchosen candidate when floating
+		// point rounding leaves t marginally above the accumulated mass.
+		chosen.set(pick)
+		remaining -= p[pick]
+		out = append(out, pick)
 	}
 	return out, nil
 }
 
-func exactTopK(vec []float64, k int) ([]int, error) {
-	idx := make([]int, len(vec))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return vec[idx[a]] > vec[idx[b]] })
-	return idx[:k], nil
-}
+// bitset is a dense bit vector used to mark already-chosen candidates.
+type bitset []uint64
+
+func newBitset(n int) bitset    { return make(bitset, (n+63)/64) }
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
