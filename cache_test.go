@@ -247,6 +247,15 @@ func TestConcurrentCachedRecommender(t *testing.T) {
 	}
 	var wg sync.WaitGroup
 	errs := make(chan error, 64)
+	// Non-blocking send: a systematic divergence produces far more errors
+	// than the channel holds, and a blocked worker would turn the failure
+	// into a test-binary timeout instead of a t.Fatal.
+	report := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
 	for w := 0; w < 16; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -256,23 +265,23 @@ func TestConcurrentCachedRecommender(t *testing.T) {
 				rec, err := cached.Recommend(target)
 				if want[target].err {
 					if err == nil {
-						errs <- errors.New("missing error")
+						report(errors.New("missing error"))
 					}
 					continue
 				}
 				if err != nil || rec != want[target].rec {
-					errs <- errors.Join(err, errors.New("recommendation diverged"))
+					report(errors.Join(err, errors.New("recommendation diverged")))
 					continue
 				}
 				if acc, err := cached.ExpectedAccuracy(target); err != nil || acc != want[target].acc {
-					errs <- errors.Join(err, errors.New("accuracy diverged"))
+					report(errors.Join(err, errors.New("accuracy diverged")))
 				}
 				if topK, err := cached.RecommendTopK(target, 2); err != nil {
-					errs <- err
+					report(err)
 				} else {
 					for j := range topK {
 						if topK[j] != want[target].topK[j] {
-							errs <- errors.New("top-k diverged")
+							report(errors.New("top-k diverged"))
 						}
 					}
 				}

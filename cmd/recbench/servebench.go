@@ -24,7 +24,9 @@ type serveBenchResult struct {
 	Nodes          int     `json:"nodes"`
 	Edges          int     `json:"edges"`
 	Targets        int     `json:"distinct_targets"`
-	Requests       int     `json:"requests_per_arm"`
+	CachedReqs     int     `json:"cached_requests"`
+	UncachedReqs   int     `json:"uncached_requests"`
+	TopKReqs       int     `json:"topk_requests"`
 	UncachedNsOp   float64 `json:"uncached_ns_per_op"`
 	CachedNsOp     float64 `json:"cached_ns_per_op"`
 	Speedup        float64 `json:"speedup"`
@@ -77,11 +79,13 @@ func runServeBench(opts experiment.SuiteOptions, outPath string) error {
 	// benchmark stays fast while keeping per-op numbers comparable.
 	uncachedReqs := requests / 10
 	res := serveBenchResult{
-		Dataset:  "wiki-vote [" + loaded.Detail + "]",
-		Nodes:    g.NumNodes(),
-		Edges:    g.NumEdges(),
-		Targets:  distinctTargets,
-		Requests: requests,
+		Dataset:      "wiki-vote [" + loaded.Detail + "]",
+		Nodes:        g.NumNodes(),
+		Edges:        g.NumEdges(),
+		Targets:      distinctTargets,
+		CachedReqs:   requests,
+		UncachedReqs: uncachedReqs,
+		TopKReqs:     requests / 4,
 	}
 	serve(cached, len(targets)) // warm the cache out of the timed region
 	res.UncachedNsOp, res.UncachedAllocs = serve(uncached, uncachedReqs)

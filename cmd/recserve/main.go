@@ -4,14 +4,34 @@
 // Usage:
 //
 //	recserve -graph social.txt -epsilon 1 -budget 100 -addr :8080
+//	recserve -graph social.txt -live -rebuild-interval 100ms -max-pending 1024
 //
 // Endpoints:
 //
-//	GET /healthz
+//	GET /healthz                       status, snapshot version, cache + live stats
 //	GET /v1/recommend?target=42        one private recommendation
 //	GET /v1/recommend?target=42&k=5    private top-k
 //	GET /v1/audit?target=42            accuracy ceiling + expected accuracy
 //	GET /v1/budget                     global privacy budget status
+//
+// With -live the graph accepts streaming mutations while serving:
+//
+//	POST   /edges   {"from":1,"to":2}  insert an edge
+//	DELETE /edges?from=1&to=2          remove an edge (JSON body also accepted)
+//	POST   /nodes                      append a new isolated node
+//
+// Mutations are journaled into a delta log and folded into the serving
+// snapshot by a background rebuilder, debounced by -rebuild-interval and
+// forced early once -max-pending deltas accumulate; until then reads serve
+// the previous consistent snapshot. Mutating the graph is DP-safe
+// pre-processing: it changes the *input* of future recommendations, not any
+// released output, so every answer remains ε-differentially private with
+// respect to the snapshot that produced it and the privacy budget
+// accounting is unchanged.
+//
+// The write endpoints are unauthenticated, like the rest of the service:
+// anyone who can reach them can rewrite the serving graph. Run -live only
+// behind operator authentication or on trusted networks.
 package main
 
 import (
@@ -36,6 +56,9 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		seed     = flag.Int64("seed", 0, "seed (0 = time-based; use non-zero only for testing)")
 		cache    = flag.Int("cache", socialrec.DefaultCacheSize, "utility-vector cache entries (0 disables caching)")
+		live     = flag.Bool("live", false, "accept streaming graph mutations (POST /edges, DELETE /edges, POST /nodes)")
+		interval = flag.Duration("rebuild-interval", socialrec.DefaultRebuildInterval, "debounce interval for folding mutations into the serving snapshot (with -live)")
+		maxPend  = flag.Int("max-pending", socialrec.DefaultMaxPendingDeltas, "pending mutations that force an immediate snapshot rebuild (with -live)")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -65,14 +88,22 @@ func main() {
 	if s == 0 {
 		s = time.Now().UnixNano()
 	}
-	rec, err := socialrec.NewRecommender(g,
+	opts := []socialrec.Option{
 		socialrec.WithEpsilon(*epsilon),
 		socialrec.WithMechanism(kind),
 		socialrec.WithSeed(s),
-	)
+	}
+	if *live {
+		opts = append(opts,
+			socialrec.WithRebuildInterval(*interval),
+			socialrec.WithMaxPendingDeltas(*maxPend),
+		)
+	}
+	rec, err := socialrec.NewRecommender(g, opts...)
 	if err != nil {
 		log.Fatalf("recserve: %v", err)
 	}
+	defer rec.Close()
 
 	srv, err := recserver.New(recserver.Config{
 		Recommender:  rec,
@@ -83,8 +114,12 @@ func main() {
 		log.Fatalf("recserve: %v", err)
 	}
 
-	log.Printf("recserve: %d nodes, %d edges, eps=%g, budget=%g, listening on %s",
-		g.NumNodes(), g.NumEdges(), *epsilon, *budget, *addr)
+	mode := "static graph"
+	if *live {
+		mode = fmt.Sprintf("live graph (rebuild every %v or %d deltas)", *interval, *maxPend)
+	}
+	log.Printf("recserve: %d nodes, %d edges, eps=%g, budget=%g, %s, listening on %s",
+		g.NumNodes(), g.NumEdges(), *epsilon, *budget, mode, *addr)
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,

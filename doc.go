@@ -57,4 +57,40 @@
 // recommendation still releases ε of information (the Accountant composes
 // budgets additively regardless of cache hits), because the mechanism draw,
 // not the utility computation, is what consumes the budget.
+//
+// # Live graphs
+//
+// The paper's setting is a live social network: edges arrive while
+// recommendations are served. A Recommender built with WithLiveMutations
+// (or the knobs implying it, WithRebuildInterval and WithMaxPendingDeltas)
+// retains a concurrency-safe mutable copy of its graph and accepts
+// streaming writes:
+//
+//	rec, _ := socialrec.NewRecommender(g,
+//		socialrec.WithRebuildInterval(100*time.Millisecond),
+//		socialrec.WithMaxPendingDeltas(1024),
+//	)
+//	defer rec.Close()
+//	rec.AddEdge(3, 9)       // journaled; visible at the next rebuild
+//	rec.RemoveEdge(1, 2)
+//	id, _ := rec.AddNode()
+//
+// Writes are journaled into a delta log and never block reads: readers keep
+// serving the current immutable snapshot until a background rebuilder folds
+// the pending deltas into a fresh snapshot — incrementally patching the CSR
+// for small batches — and swaps it in atomically, advancing the cache
+// epoch. The rebuild is debounced by WithRebuildInterval and forced early
+// once WithMaxPendingDeltas mutations accumulate; Rebuild folds pending
+// deltas synchronously, and SnapshotVersion / PendingDeltas / LiveStats
+// expose the subsystem for monitoring.
+//
+// Why live mutation is DP-safe: applying deltas is pre-processing — it
+// changes the input graph that future snapshots are computed from, not any
+// released output. Each recommendation is ε-differentially private with
+// respect to the snapshot that produced it, because the privacy-bearing
+// noise is drawn fresh per request after the deterministic pre-processing
+// stage; no output is ever perturbed retroactively, and budget accounting
+// composes exactly as for a static graph. The epoch-keyed cache guarantees
+// pre-processing from an old graph is never mixed into answers over a new
+// one.
 package socialrec

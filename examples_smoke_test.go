@@ -1,0 +1,46 @@
+package socialrec
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestExamplesBuildAndRun smoke-tests every examples/* main: each must
+// build and run to completion with its default flags, producing output.
+// Examples are executable documentation — this keeps them compiling and
+// running as the API evolves instead of rotting silently (none are covered
+// by go build ./... failures alone once behavior, not signatures, breaks).
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test shells out to the go tool; skipped in -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no examples found")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./examples/"+name)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("examples/%s produced no output", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,145 @@
+package dpcheck
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"socialrec/internal/graph"
+)
+
+// Empirical end-to-end verification: Check enumerates closed-form
+// distributions, which exercises the mechanisms but not the full serving
+// stack (caches, CDF sampling, top-k composition, snapshot plumbing). The
+// empirical checker instead treats the recommender as a black box: it draws
+// many recommendations on a graph and on each single-edge neighbor, and
+// compares smoothed empirical frequencies. A correct ε-DP deployment keeps
+// every per-candidate ratio within e^ε up to sampling noise; a broken one —
+// stale sensitivity, biased sampler, cache leaking across graphs — shows up
+// as a blown ratio.
+//
+// The checker deliberately does not import the public socialrec package
+// (package socialrec's own tests import dpcheck, so that would be an import
+// cycle); callers supply a SamplerFactory that builds the black box, and
+// the socialrec-driving factories live in this package's external tests.
+
+// Sampler draws one recommendation (a node ID) for a fixed target using
+// the supplied randomness.
+type Sampler func(rng *rand.Rand) (int, error)
+
+// SamplerFactory builds a Sampler for the target over one concrete graph —
+// typically by constructing a full socialrec.Recommender over g and closing
+// over RecommendWithRNG. It is invoked once for the base graph and once per
+// neighboring graph, mirroring a redeployment on changed data.
+type SamplerFactory func(g *graph.Graph, target int) (Sampler, error)
+
+// EmpiricalConfig tunes EmpiricalCheck.
+type EmpiricalConfig struct {
+	// Samples is the number of draws per graph (default 2000).
+	Samples int
+	// Seed makes the check deterministic; each graph's draws use a
+	// distinct stream derived from it.
+	Seed int64
+	// MaxPairs caps how many single-edge neighbors are examined (0 = all).
+	// Neighbors are visited in the same order as Check's enumeration, so a
+	// capped run is deterministic too.
+	MaxPairs int
+}
+
+// EmpiricalReport is the outcome of one empirical neighbor sweep.
+type EmpiricalReport struct {
+	// MaxRatio is the largest per-candidate smoothed frequency ratio
+	// observed across all examined neighbors, in either direction.
+	MaxRatio float64
+	// WorstEdge is the toggled edge achieving MaxRatio.
+	WorstEdge graph.Edge
+	// Pairs is the number of neighboring graphs examined.
+	Pairs int
+	// Samples is the per-graph draw count used.
+	Samples int
+}
+
+// Satisfies reports whether the observed worst ratio is within e^eps times
+// (1 + slack). Slack absorbs sampling noise (shrinking like 1/sqrt(Samples))
+// and must be strictly positive for a sound empirical test.
+func (r EmpiricalReport) Satisfies(eps, slack float64) bool {
+	return r.MaxRatio <= math.Exp(eps)*(1+slack)
+}
+
+// errStopEnum aborts the neighbor enumeration once MaxPairs is reached.
+var errStopEnum = errors.New("dpcheck: enumeration capped")
+
+// EmpiricalCheck estimates the worst-case output-frequency ratio of the
+// black-box recommender built by factory between g and its single-edge
+// neighbors (edges not incident to target, per the relaxed §3.2 privacy
+// definition). Frequencies are Laplace-smoothed — p_i = (count_i + 1) /
+// (Samples + n) — so candidates unseen on one side yield large finite
+// ratios instead of infinities.
+func EmpiricalCheck(g *graph.Graph, target int, factory SamplerFactory, cfg EmpiricalConfig) (EmpiricalReport, error) {
+	n := g.NumNodes()
+	if target < 0 || target >= n {
+		return EmpiricalReport{}, fmt.Errorf("%w: %d", ErrTarget, target)
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = 2000
+	}
+	work := g.Clone()
+	base, err := empiricalDist(work, target, factory, cfg.Samples, cfg.Seed)
+	if err != nil {
+		return EmpiricalReport{}, err
+	}
+	report := EmpiricalReport{MaxRatio: 1, Samples: cfg.Samples}
+	err = forEachTogglableEdge(work, target, func(u, v int) error {
+		if cfg.MaxPairs > 0 && report.Pairs >= cfg.MaxPairs {
+			return errStopEnum
+		}
+		toggle(work, u, v)
+		defer toggle(work, u, v)
+		report.Pairs++
+		probs, err := empiricalDist(work, target, factory, cfg.Samples, cfg.Seed+int64(report.Pairs))
+		if err != nil {
+			return err
+		}
+		for i := range probs {
+			if ratio := ratioOf(base[i], probs[i]); ratio > report.MaxRatio {
+				report.MaxRatio = ratio
+				report.WorstEdge = graph.Edge{From: u, To: v}
+			}
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStopEnum) {
+		return EmpiricalReport{}, err
+	}
+	return report, nil
+}
+
+// empiricalDist draws samples recommendations on a clone of g and returns
+// the smoothed frequency of every node.
+func empiricalDist(g *graph.Graph, target int, factory SamplerFactory, samples int, seed int64) ([]float64, error) {
+	// Clone so factories that retain the graph (every real recommender
+	// snapshots at construction) are isolated from the toggling work copy.
+	sample, err := factory(g.Clone(), target)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	counts := make([]int, n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < samples; i++ {
+		node, err := sample(rng)
+		if err != nil {
+			return nil, err
+		}
+		if node < 0 || node >= n {
+			return nil, fmt.Errorf("dpcheck: sampler returned node %d outside [0,%d)", node, n)
+		}
+		counts[node]++
+	}
+	probs := make([]float64, n)
+	for i, c := range counts {
+		probs[i] = float64(c+1) / float64(samples+n)
+	}
+	return probs, nil
+}

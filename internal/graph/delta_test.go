@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// applyScript interprets a byte script as a mutation sequence against m,
+// returning the number of successful mutations. Every third byte selects an
+// op; the next two select endpoints modulo the current node count.
+func applyScript(m *MutableGraph, script []byte) int {
+	applied := 0
+	for i := 0; i+2 < len(script); i += 3 {
+		n := m.NumNodes()
+		if n == 0 {
+			break
+		}
+		u, v := int(script[i+1])%n, int(script[i+2])%n
+		switch script[i] % 8 {
+		case 0, 1, 2: // bias toward adds so graphs grow
+			if m.AddEdge(u, v) == nil {
+				applied++
+			}
+		case 3, 4:
+			if m.RemoveEdge(u, v) == nil {
+				applied++
+			}
+		case 5:
+			m.AddNode()
+			applied++
+		default: // toggle
+			var err error
+			if m.HasEdge(u, v) {
+				err = m.RemoveEdge(u, v)
+			} else {
+				err = m.AddEdge(u, v)
+			}
+			if err == nil {
+				applied++
+			}
+		}
+	}
+	return applied
+}
+
+func testPatchMatchesSnapshot(t *testing.T, directed bool, nodes int, script []byte) {
+	t.Helper()
+	var g *Graph
+	if directed {
+		g = NewDirected(nodes)
+	} else {
+		g = New(nodes)
+	}
+	m := NewMutable(g)
+	cur := m.Clone().Snapshot()
+	// Apply the script in chunks, draining and patching at each checkpoint
+	// so the incremental path is exercised across multiple batches.
+	chunk := 9
+	for lo := 0; lo < len(script); lo += chunk {
+		hi := min(lo+chunk, len(script))
+		applyScript(m, script[lo:hi])
+		cur = cur.Patch(m.Drain())
+		if err := m.Validate(); err != nil {
+			t.Fatalf("graph invariant broken: %v", err)
+		}
+		want := m.Clone().Snapshot()
+		if !cur.Equal(want) {
+			t.Fatalf("patched CSR diverged from from-scratch snapshot after %d script bytes\npatched: index=%v adj=%v\nwant:    index=%v adj=%v",
+				hi, cur.Index, cur.Adj, want.Index, want.Adj)
+		}
+	}
+}
+
+func TestPatchMatchesSnapshotScripted(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, directed := range []bool{false, true} {
+		for trial := 0; trial < 40; trial++ {
+			script := make([]byte, 3*(3+rng.Intn(60)))
+			rng.Read(script)
+			testPatchMatchesSnapshot(t, directed, 2+rng.Intn(12), script)
+		}
+	}
+}
+
+func TestPatchEmptyBatchReturnsSameSnapshot(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Snapshot()
+	if got := c.Patch(nil); got != c {
+		t.Fatalf("Patch(nil) rebuilt the snapshot; want identity")
+	}
+}
+
+func TestPatchAddNodeGrowsSnapshot(t *testing.T) {
+	m := NewMutable(New(2))
+	if err := m.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	base, _ := m.SnapshotAndDrain()
+	id := m.AddNode()
+	if id != 2 {
+		t.Fatalf("AddNode = %d, want 2", id)
+	}
+	if err := m.AddEdge(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := base.Patch(m.Drain())
+	want := m.Clone().Snapshot()
+	if got.NumNodes() != 3 || !got.Equal(want) {
+		t.Fatalf("patched snapshot after AddNode = %d nodes %v/%v, want %v/%v",
+			got.NumNodes(), got.Index, got.Adj, want.Index, want.Adj)
+	}
+}
+
+func TestPatchBaseDrainInvariant(t *testing.T) {
+	// The base snapshot for a Patch must be the one current at the previous
+	// Drain: deltas journaled before SnapshotAndDrain are NOT pending
+	// afterwards.
+	m := NewMutable(New(5))
+	if err := m.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	snap, deltas := m.SnapshotAndDrain()
+	if len(deltas) != 1 || m.Pending() != 0 {
+		t.Fatalf("SnapshotAndDrain left %d pending (drained %d)", m.Pending(), len(deltas))
+	}
+	if !snap.HasEdge(0, 1) {
+		t.Fatal("snapshot missing journaled edge")
+	}
+	if err := m.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	got := snap.Patch(m.Drain())
+	if !got.Equal(m.Clone().Snapshot()) {
+		t.Fatal("patch on SnapshotAndDrain basis diverged")
+	}
+}
+
+func TestMutableGraphRejectsInvalid(t *testing.T) {
+	m := NewMutable(New(3))
+	if err := m.AddEdge(0, 0); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	if err := m.AddEdge(0, 7); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if err := m.RemoveEdge(0, 1); err == nil {
+		t.Fatal("missing-edge removal accepted")
+	}
+	if got := m.Pending(); got != 0 {
+		t.Fatalf("failed mutations journaled %d deltas", got)
+	}
+}
+
+func TestMutableGraphConcurrentMutations(t *testing.T) {
+	m := NewMutable(New(64))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				u, v := rng.Intn(64), rng.Intn(64)
+				if rng.Intn(3) == 0 {
+					m.RemoveEdge(u, v) //nolint:errcheck // racing removals may miss
+				} else if u != v {
+					m.AddEdge(u, v) //nolint:errcheck // racing adds may duplicate
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("graph invariant broken after concurrent mutations: %v", err)
+	}
+	if got := m.Clone().Snapshot(); !got.Equal(m.Clone().Snapshot()) {
+		t.Fatal("snapshots of a quiescent graph differ")
+	}
+}
+
+// FuzzGraphMutations drives random mutation scripts through MutableGraph,
+// checking after every drained batch that (a) the Graph invariant holds and
+// (b) the incrementally patched CSR is bit-identical to a from-scratch
+// Snapshot — the property the live serving path depends on.
+func FuzzGraphMutations(f *testing.F) {
+	f.Add(uint8(4), false, []byte{0, 0, 1, 0, 1, 2, 3, 0, 1})
+	f.Add(uint8(6), true, []byte{0, 0, 1, 5, 0, 0, 0, 6, 0, 3, 0, 1})
+	f.Add(uint8(2), false, []byte{5, 0, 0, 0, 2, 0, 7, 0, 2, 7, 0, 2})
+	f.Fuzz(func(t *testing.T, n uint8, directed bool, script []byte) {
+		if len(script) > 3*256 {
+			script = script[:3*256]
+		}
+		testPatchMatchesSnapshot(t, directed, 1+int(n%24), script)
+	})
+}

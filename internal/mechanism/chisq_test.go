@@ -1,0 +1,108 @@
+package mechanism
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Chi-squared goodness-of-fit of Exponential's draw frequencies against its
+// closed-form distribution. The utility vector, seed, and trial count are
+// fixed, so the statistic is deterministic; the threshold is the chi-squared
+// critical value at alpha = 1e-3 for the appropriate degrees of freedom,
+// giving a seeded test that would only flake if the seed itself were
+// adversarial. This is the statistical check that the sampler actually
+// implements the exp((ε/Δf)·u_i) law the privacy proof is about — unit
+// tests of Probabilities alone cannot catch a biased sampler.
+
+// chi2Critical999 maps degrees of freedom to the chi-squared critical value
+// at alpha = 1e-3.
+var chi2Critical999 = map[int]float64{
+	3: 16.266,
+	4: 18.467,
+	5: 20.515,
+	7: 24.322,
+}
+
+func chiSquared(t *testing.T, counts []int, probs []float64, trials int) float64 {
+	t.Helper()
+	stat := 0.0
+	for i, p := range probs {
+		expected := p * float64(trials)
+		if expected < 5 {
+			t.Fatalf("cell %d expected count %.2f < 5; pick a larger trial count", i, expected)
+		}
+		d := float64(counts[i]) - expected
+		stat += d * d / expected
+	}
+	return stat
+}
+
+func TestExponentialChiSquaredGoodnessOfFit(t *testing.T) {
+	cases := []struct {
+		name string
+		u    []float64
+		eps  float64
+		sens float64
+		seed int64
+	}{
+		{"spread", []float64{0, 1, 2, 3, 5}, 1, 1, 42},
+		{"flat-ties", []float64{2, 2, 2, 2}, 1, 2, 7},
+		{"tight-eps", []float64{0, 1, 4, 9, 9, 12}, 0.5, 3, 11},
+		{"lenient-eps", []float64{0, 3, 1, 2, 0, 1, 2, 4}, 3, 2, 13},
+	}
+	const trials = 200000
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := Exponential{Epsilon: tc.eps, Sensitivity: tc.sens}
+			probs, err := e.Probabilities(tc.u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(tc.seed))
+			counts := make([]int, len(tc.u))
+			for i := 0; i < trials; i++ {
+				idx, err := e.Recommend(tc.u, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				counts[idx]++
+			}
+			stat := chiSquared(t, counts, probs, trials)
+			crit, ok := chi2Critical999[len(tc.u)-1]
+			if !ok {
+				t.Fatalf("no critical value for df=%d", len(tc.u)-1)
+			}
+			if stat > crit {
+				t.Fatalf("chi-squared %.3f exceeds critical value %.3f (df=%d): draws do not follow the exponential-mechanism law\ncounts: %v\nprobs:  %v",
+					stat, crit, len(tc.u)-1, counts, probs)
+			}
+		})
+	}
+}
+
+// TestSampleCDFChiSquaredGoodnessOfFit runs the same check against the
+// cached-CDF sampling path the serving cache uses, so a bias introduced in
+// CDF/SampleCDF (rather than Recommend) would also be caught.
+func TestSampleCDFChiSquaredGoodnessOfFit(t *testing.T) {
+	u := []float64{0, 1, 2, 3, 5}
+	e := Exponential{Epsilon: 1, Sensitivity: 1}
+	probs, err := e.Probabilities(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdf, err := e.CDF(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 200000
+	rng := rand.New(rand.NewSource(42))
+	counts := make([]int, len(u))
+	for i := 0; i < trials; i++ {
+		counts[SampleCDF(cdf, rng)]++
+	}
+	stat := chiSquared(t, counts, probs, trials)
+	if crit := chi2Critical999[len(u)-1]; stat > crit {
+		t.Fatalf("chi-squared %.3f exceeds critical value %.3f: cached-CDF draws biased\ncounts: %v\nprobs:  %v",
+			stat, crit, counts, probs)
+	}
+}

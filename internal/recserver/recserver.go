@@ -24,6 +24,22 @@
 // the cache. Cached utilities are raw, non-private values; they live only
 // in process memory and are never serialized into any response. Cache
 // hit/miss counters are exported on /healthz for monitoring.
+//
+// Live mutations: when the Recommender is built with live mutations
+// (socialrec.WithLiveMutations, recserve -live), the server additionally
+// accepts writes — POST /edges, DELETE /edges, POST /nodes — which journal
+// deltas into the mutable graph; a background rebuilder debounces them into
+// atomic snapshot swaps, so reads never block on writes. Mutation responses
+// carry the current snapshot version and pending-delta count, and /healthz
+// exports the same as gauges. Applying deltas is pre-processing of the next
+// graph snapshot — not perturbation of any released output — so each served
+// recommendation keeps its ε guarantee with respect to the snapshot that
+// served it; see the socialrec live.go commentary.
+//
+// Like /audit, the write endpoints carry no authentication of their own and
+// are strictly more dangerous: anyone who can reach them can rewrite the
+// serving graph and grow it without bound. Deploy them behind operator
+// authentication (or keep -live off on untrusted networks).
 package recserver
 
 import (
@@ -101,6 +117,17 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/recommend", s.handleRecommend)
 	mux.HandleFunc("GET /v1/audit", s.handleAudit)
 	mux.HandleFunc("GET /v1/budget", s.handleBudget)
+	// Write path (live mutations). Registered unconditionally and answered
+	// with 501 when the Recommender is not live, so clients get a stable
+	// error shape instead of a bare 404. Both the versioned and the bare
+	// spellings are served.
+	for _, p := range []string{"/edges", "/v1/edges"} {
+		mux.HandleFunc("POST "+p, s.handleAddEdge)
+		mux.HandleFunc("DELETE "+p, s.handleRemoveEdge)
+	}
+	for _, p := range []string{"/nodes", "/v1/nodes"} {
+		mux.HandleFunc("POST "+p, s.handleAddNode)
+	}
 	s.routes = mux
 	return s, nil
 }
@@ -128,16 +155,27 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 
 type healthResponse struct {
 	Status string `json:"status"`
+	// SnapshotVersion is the epoch of the graph snapshot serving reads; it
+	// increments on every snapshot rebuild.
+	SnapshotVersion uint64 `json:"snapshot_version"`
 	// Cache reports utility-vector cache effectiveness; omitted when
 	// caching is disabled. Counters are aggregates over raw pre-processing
 	// reuse and reveal nothing about individual requests or edges.
 	Cache *socialrec.CacheStats `json:"cache,omitempty"`
+	// Live reports the streaming-mutation subsystem (pending deltas,
+	// rebuild counts); omitted when live mutations are disabled. Like the
+	// cache counters these are aggregates over pre-processing and reveal
+	// nothing about individual edges.
+	Live *socialrec.LiveStats `json:"live,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	resp := healthResponse{Status: "ok"}
+	resp := healthResponse{Status: "ok", SnapshotVersion: s.rec.SnapshotVersion()}
 	if st, ok := s.rec.CacheStats(); ok {
 		resp.Cache = &st
+	}
+	if st, ok := s.rec.LiveStats(); ok {
+		resp.Live = &st
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -228,6 +266,108 @@ func (s *Server) writeRecommendError(w http.ResponseWriter, err error) {
 		s.logf("recserver: recommend: %v", err)
 		s.writeError(w, http.StatusInternalServerError, "internal error")
 	}
+}
+
+// edgeRequest is the body of POST /edges and (optionally) DELETE /edges;
+// DELETE also accepts ?from=&to= query parameters.
+type edgeRequest struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// mutationResponse acknowledges a write. SnapshotVersion and PendingDeltas
+// tell the client which snapshot generation will first reflect the change:
+// the mutation is journaled durably in-process but becomes visible to reads
+// only at the next debounced rebuild.
+type mutationResponse struct {
+	From            *int   `json:"from,omitempty"`
+	To              *int   `json:"to,omitempty"`
+	Node            *int   `json:"node,omitempty"`
+	SnapshotVersion uint64 `json:"snapshot_version"`
+	PendingDeltas   int    `json:"pending_deltas"`
+}
+
+func (s *Server) writeMutationError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, socialrec.ErrNotLive):
+		s.writeError(w, http.StatusNotImplemented, "live mutations disabled (start the server with -live)")
+	case errors.Is(err, socialrec.ErrDuplicateEdge):
+		s.writeError(w, http.StatusConflict, "edge already present")
+	case errors.Is(err, socialrec.ErrMissingEdge):
+		s.writeError(w, http.StatusNotFound, "edge not present")
+	case errors.Is(err, socialrec.ErrNodeRange):
+		s.writeError(w, http.StatusNotFound, "node out of range")
+	case errors.Is(err, socialrec.ErrSelfLoop):
+		s.writeError(w, http.StatusBadRequest, "self loops are not allowed")
+	default:
+		s.logf("recserver: mutation: %v", err)
+		s.writeError(w, http.StatusInternalServerError, "internal error")
+	}
+}
+
+// edgeParams decodes an edge mutation from query parameters (?from=&to=)
+// or, when absent, from a JSON body.
+func (s *Server) edgeParams(r *http.Request) (edgeRequest, error) {
+	q := r.URL.Query()
+	if q.Has("from") || q.Has("to") {
+		from, err := strconv.Atoi(q.Get("from"))
+		if err != nil {
+			return edgeRequest{}, fmt.Errorf("invalid from %q", q.Get("from"))
+		}
+		to, err := strconv.Atoi(q.Get("to"))
+		if err != nil {
+			return edgeRequest{}, fmt.Errorf("invalid to %q", q.Get("to"))
+		}
+		return edgeRequest{From: from, To: to}, nil
+	}
+	var req edgeRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return edgeRequest{}, fmt.Errorf("invalid edge body: %v", err)
+	}
+	return req, nil
+}
+
+func (s *Server) ackMutation(w http.ResponseWriter, status int, resp mutationResponse) {
+	resp.SnapshotVersion = s.rec.SnapshotVersion()
+	resp.PendingDeltas = s.rec.PendingDeltas()
+	s.writeJSON(w, status, resp)
+}
+
+func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
+	req, err := s.edgeParams(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.rec.AddEdge(req.From, req.To); err != nil {
+		s.writeMutationError(w, err)
+		return
+	}
+	s.ackMutation(w, http.StatusCreated, mutationResponse{From: &req.From, To: &req.To})
+}
+
+func (s *Server) handleRemoveEdge(w http.ResponseWriter, r *http.Request) {
+	req, err := s.edgeParams(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.rec.RemoveEdge(req.From, req.To); err != nil {
+		s.writeMutationError(w, err)
+		return
+	}
+	s.ackMutation(w, http.StatusOK, mutationResponse{From: &req.From, To: &req.To})
+}
+
+func (s *Server) handleAddNode(w http.ResponseWriter, r *http.Request) {
+	id, err := s.rec.AddNode()
+	if err != nil {
+		s.writeMutationError(w, err)
+		return
+	}
+	s.ackMutation(w, http.StatusCreated, mutationResponse{Node: &id})
 }
 
 type auditResponse struct {

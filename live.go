@@ -1,0 +1,264 @@
+package socialrec
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"socialrec/internal/graph"
+)
+
+// Live graph mutations: the paper's setting is a live social network whose
+// edges arrive continuously, so a Recommender can optionally retain a
+// concurrency-safe mutable copy of its graph (WithLiveMutations). Writers
+// append AddEdge/RemoveEdge/AddNode deltas to an internal journal while
+// readers keep serving from the current immutable snapshot; a background
+// rebuilder debounces the journal and atomically swaps in a fresh snapState
+// — patched incrementally for small batches — advancing the cache epoch
+// exactly like RefreshSnapshot.
+//
+// Why this is DP-safe: a mutation changes the *input* graph, not the
+// mechanism. Every recommendation is ε-differentially private with respect
+// to the snapshot it was computed over, because the privacy-bearing noise is
+// drawn fresh per request after the deterministic pre-processing stage;
+// applying deltas is pre-processing of the next snapshot, not perturbation
+// of any released output. Budget accounting is likewise unchanged — each
+// served recommendation still spends ε against whatever snapshot served it.
+
+// Defaults for the live rebuild knobs.
+const (
+	// DefaultRebuildInterval is the debounce interval of the background
+	// rebuilder when WithRebuildInterval is not given.
+	DefaultRebuildInterval = 100 * time.Millisecond
+	// DefaultMaxPendingDeltas is the pending-delta count that forces an
+	// immediate rebuild when WithMaxPendingDeltas is not given.
+	DefaultMaxPendingDeltas = 1024
+)
+
+// liveState is the Recommender's mutable-graph side: the journaling graph
+// wrapper, the rebuild knobs, and the background rebuilder's lifecycle.
+type liveState struct {
+	mut        *graph.MutableGraph
+	interval   time.Duration
+	maxPending int
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	rebuilds    atomic.Uint64
+	incremental atomic.Uint64
+
+	// forceFull is set (under refreshMu) when a rebuild failed after the
+	// journal was drained, losing the incremental basis; the next rebuild
+	// must re-snapshot from the full graph.
+	forceFull bool
+
+	closeOnce sync.Once
+}
+
+// LiveStats is a point-in-time snapshot of the live-mutation subsystem,
+// exposed for operational monitoring (recserver's /healthz).
+type LiveStats struct {
+	// SnapshotVersion is the epoch of the snapshot currently serving reads;
+	// it increments on every rebuild (and on RefreshSnapshot).
+	SnapshotVersion uint64 `json:"snapshot_version"`
+	// PendingDeltas is the number of journaled mutations not yet folded
+	// into the serving snapshot.
+	PendingDeltas int `json:"pending_deltas"`
+	// Rebuilds counts snapshot swaps performed by Rebuild.
+	Rebuilds uint64 `json:"rebuilds"`
+	// IncrementalRebuilds counts the subset of Rebuilds that took the
+	// CSR patch path instead of a from-scratch snapshot.
+	IncrementalRebuilds uint64 `json:"incremental_rebuilds"`
+	// Nodes and Edges describe the current mutable graph (which may be
+	// ahead of the serving snapshot by PendingDeltas mutations).
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+}
+
+// AddEdge inserts the edge u->v (or {u,v} for undirected graphs) into the
+// live graph. The edge becomes visible to readers at the next snapshot
+// rebuild. Returns ErrNotLive unless the Recommender was built with live
+// mutations, and the graph-layer error (ErrDuplicateEdge, ErrNodeRange,
+// ErrSelfLoop) on invalid input.
+func (r *Recommender) AddEdge(u, v int) error {
+	lv := r.live
+	if lv == nil {
+		return ErrNotLive
+	}
+	if err := lv.mut.AddEdge(u, v); err != nil {
+		return err
+	}
+	r.maybeKick(lv)
+	return nil
+}
+
+// RemoveEdge deletes the edge u->v (or {u,v}) from the live graph; see
+// AddEdge for visibility and errors (ErrMissingEdge when absent).
+func (r *Recommender) RemoveEdge(u, v int) error {
+	lv := r.live
+	if lv == nil {
+		return ErrNotLive
+	}
+	if err := lv.mut.RemoveEdge(u, v); err != nil {
+		return err
+	}
+	r.maybeKick(lv)
+	return nil
+}
+
+// AddNode appends a new isolated node to the live graph and returns its ID.
+// Returns ErrNotLive unless live mutations are enabled.
+func (r *Recommender) AddNode() (int, error) {
+	lv := r.live
+	if lv == nil {
+		return 0, ErrNotLive
+	}
+	id := lv.mut.AddNode()
+	r.maybeKick(lv)
+	return id, nil
+}
+
+// maybeKick wakes the background rebuilder immediately when the journal has
+// outgrown the configured pending-delta bound.
+func (r *Recommender) maybeKick(lv *liveState) {
+	if lv.mut.Pending() >= lv.maxPending {
+		select {
+		case lv.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// PendingDeltas returns the number of live mutations not yet reflected in
+// the serving snapshot (0 when live mutations are disabled).
+func (r *Recommender) PendingDeltas() int {
+	lv := r.live
+	if lv == nil {
+		return 0
+	}
+	return lv.mut.Pending()
+}
+
+// SnapshotVersion returns the epoch of the snapshot currently serving
+// reads. It increments on every Rebuild and RefreshSnapshot, so operators
+// can verify that mutations are being folded in.
+func (r *Recommender) SnapshotVersion() uint64 { return r.state.Load().epoch }
+
+// LiveStats reports the live-mutation counters; ok is false when live
+// mutations are disabled.
+func (r *Recommender) LiveStats() (stats LiveStats, ok bool) {
+	lv := r.live
+	if lv == nil {
+		return LiveStats{}, false
+	}
+	return LiveStats{
+		SnapshotVersion:     r.SnapshotVersion(),
+		PendingDeltas:       lv.mut.Pending(),
+		Rebuilds:            lv.rebuilds.Load(),
+		IncrementalRebuilds: lv.incremental.Load(),
+		Nodes:               lv.mut.NumNodes(),
+		Edges:               lv.mut.NumEdges(),
+	}, true
+}
+
+// CurrentGraph returns a deep copy of the live graph, including mutations
+// not yet folded into the serving snapshot. It returns ErrNotLive when live
+// mutations are disabled.
+func (r *Recommender) CurrentGraph() (*Graph, error) {
+	lv := r.live
+	if lv == nil {
+		return nil, ErrNotLive
+	}
+	return lv.mut.Clone(), nil
+}
+
+// Rebuild synchronously folds every pending delta into a new serving
+// snapshot and swaps it in atomically, advancing the cache epoch. Small
+// batches take the incremental CSR patch path; batches large relative to
+// the snapshot fall back to a from-scratch build. It is a no-op when
+// nothing is pending, and safe to call concurrently with reads, writes, and
+// the background rebuilder. Returns ErrNotLive when live mutations are
+// disabled.
+func (r *Recommender) Rebuild() error {
+	lv := r.live
+	if lv == nil {
+		return ErrNotLive
+	}
+	r.refreshMu.Lock()
+	defer r.refreshMu.Unlock()
+	pending := lv.mut.Pending()
+	if pending == 0 {
+		return nil
+	}
+	cur := r.state.Load()
+	var snap *graph.CSR
+	incremental := !lv.forceFull && patchWorthwhile(pending, cur.snap)
+	if incremental {
+		deltas := lv.mut.Drain()
+		snap = cur.snap.Patch(deltas)
+	} else {
+		snap, _ = lv.mut.SnapshotAndDrain()
+	}
+	st, err := r.buildStateFromSnap(snap, cur.epoch+1)
+	if err != nil {
+		// The journal was drained but no snapshot was installed: the
+		// incremental basis is lost, so the next attempt must re-snapshot
+		// the full graph (which is always self-consistent).
+		lv.forceFull = true
+		return err
+	}
+	lv.forceFull = false
+	r.state.Store(st)
+	lv.rebuilds.Add(1)
+	if incremental {
+		lv.incremental.Add(1)
+	}
+	return nil
+}
+
+// patchWorthwhile decides between the incremental patch and a from-scratch
+// snapshot: patching copies the adjacency arrays wholesale either way, so
+// it wins until the edit count is a sizable fraction of the snapshot.
+func patchWorthwhile(pending int, snap *graph.CSR) bool {
+	return pending*4 <= snap.NumNodes()+len(snap.Adj)+64
+}
+
+// Close stops the background rebuilder goroutine, if any, and waits for it
+// to exit. Pending deltas are left journaled; call Rebuild first if they
+// must be folded in. Close is idempotent and a no-op for non-live
+// Recommenders.
+func (r *Recommender) Close() error {
+	lv := r.live
+	if lv == nil {
+		return nil
+	}
+	lv.closeOnce.Do(func() {
+		close(lv.stop)
+		<-lv.done
+	})
+	return nil
+}
+
+// rebuildLoop is the background debouncer: every interval tick — or
+// immediately when a writer kicks it past the pending-delta bound — it
+// folds pending deltas into a new snapshot. Rebuild errors are retained for
+// the next attempt via the forceFull fallback rather than crashing the
+// serving process.
+func (r *Recommender) rebuildLoop(lv *liveState) {
+	defer close(lv.done)
+	ticker := time.NewTicker(lv.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-lv.stop:
+			return
+		case <-ticker.C:
+		case <-lv.kick:
+		}
+		if lv.mut.Pending() > 0 {
+			r.Rebuild() //nolint:errcheck // retried next tick via forceFull
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package socialrec
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Option configures a Recommender at construction time.
 type Option func(*Recommender) error
@@ -62,6 +65,49 @@ func WithCache(size int) Option {
 			size = DefaultCacheSize
 		}
 		r.pendingCacheSize = size
+		return nil
+	}
+}
+
+// WithLiveMutations enables the streaming mutation API (AddEdge,
+// RemoveEdge, AddNode, Rebuild): the Recommender retains a concurrency-safe
+// mutable copy of the construction graph and starts a background rebuilder
+// that debounces journaled deltas into atomic snapshot swaps. Rebuild
+// cadence uses DefaultRebuildInterval and DefaultMaxPendingDeltas unless
+// overridden with WithRebuildInterval / WithMaxPendingDeltas. Call Close to
+// stop the rebuilder when discarding the Recommender.
+func WithLiveMutations() Option {
+	return func(r *Recommender) error {
+		r.pendingLive = true
+		return nil
+	}
+}
+
+// WithRebuildInterval sets the background rebuilder's debounce interval:
+// pending deltas are folded into a new serving snapshot at most once per
+// interval (plus immediately when the WithMaxPendingDeltas bound is hit).
+// It implies WithLiveMutations.
+func WithRebuildInterval(d time.Duration) Option {
+	return func(r *Recommender) error {
+		if d <= 0 {
+			return fmt.Errorf("socialrec: WithRebuildInterval(%v): interval must be positive", d)
+		}
+		r.pendingLive = true
+		r.pendingInterval = d
+		return nil
+	}
+}
+
+// WithMaxPendingDeltas sets the journal size that triggers an immediate
+// out-of-band rebuild, bounding how stale the serving snapshot can get
+// under write bursts. It implies WithLiveMutations.
+func WithMaxPendingDeltas(n int) Option {
+	return func(r *Recommender) error {
+		if n <= 0 {
+			return fmt.Errorf("socialrec: WithMaxPendingDeltas(%d): bound must be positive", n)
+		}
+		r.pendingLive = true
+		r.pendingMaxPending = n
 		return nil
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"socialrec/internal/bounds"
 	"socialrec/internal/distribution"
@@ -138,12 +139,21 @@ type Recommender struct {
 	state atomic.Pointer[snapState]
 	cache atomic.Pointer[vectorCache]
 
-	// refreshMu serializes RefreshSnapshot writers; readers never take it.
+	// live is non-nil when the Recommender retains a mutable copy of its
+	// graph for streaming mutations; see live.go.
+	live *liveState
+
+	// refreshMu serializes snapshot writers (RefreshSnapshot and Rebuild);
+	// readers never take it.
 	refreshMu sync.Mutex
 
 	// pendingCacheSize carries the WithCache option value from option
-	// application to construction.
-	pendingCacheSize int
+	// application to construction; pendingLive and the rebuild knobs do the
+	// same for the live-mutation options.
+	pendingCacheSize  int
+	pendingLive       bool
+	pendingInterval   time.Duration
+	pendingMaxPending int
 }
 
 // Errors returned by the Recommender.
@@ -151,6 +161,19 @@ var (
 	ErrNilGraph     = errors.New("socialrec: nil graph")
 	ErrNoCandidates = errors.New("socialrec: target has no positive-utility candidate")
 	ErrBadTarget    = errors.New("socialrec: target out of range")
+	// ErrNotLive is returned by the mutation API (AddEdge, RemoveEdge,
+	// AddNode, Rebuild, CurrentGraph) when the Recommender was not built
+	// with WithLiveMutations (or one of the rebuild knobs implying it).
+	ErrNotLive = errors.New("socialrec: live mutations not enabled (construct with WithLiveMutations)")
+)
+
+// Graph mutation errors, re-exported so callers of the live mutation API
+// can classify failures without importing the internal graph package.
+var (
+	ErrNodeRange     = graph.ErrNodeRange
+	ErrSelfLoop      = graph.ErrSelfLoop
+	ErrDuplicateEdge = graph.ErrDuplicateEdge
+	ErrMissingEdge   = graph.ErrMissingEdge
 )
 
 // NewRecommender builds a Recommender over a snapshot of g. The default
@@ -183,13 +206,39 @@ func NewRecommender(g *Graph, opts ...Option) (*Recommender, error) {
 	if r.pendingCacheSize != 0 {
 		r.EnableCache(r.pendingCacheSize)
 	}
+	if r.pendingLive {
+		lv := &liveState{
+			// Clone preserves the constructor contract that mutating the
+			// caller's graph never affects the Recommender.
+			mut:        graph.NewMutable(g.Clone()),
+			interval:   r.pendingInterval,
+			maxPending: r.pendingMaxPending,
+			kick:       make(chan struct{}, 1),
+			stop:       make(chan struct{}),
+			done:       make(chan struct{}),
+		}
+		if lv.interval <= 0 {
+			lv.interval = DefaultRebuildInterval
+		}
+		if lv.maxPending <= 0 {
+			lv.maxPending = DefaultMaxPendingDeltas
+		}
+		r.live = lv
+		go r.rebuildLoop(lv)
+	}
 	return r, nil
 }
 
 // buildState computes every snapshot-derived quantity for g at the given
 // cache epoch.
 func (r *Recommender) buildState(g *Graph, epoch uint64) (*snapState, error) {
-	st := &snapState{snap: g.Snapshot(), epoch: epoch}
+	return r.buildStateFromSnap(g.Snapshot(), epoch)
+}
+
+// buildStateFromSnap is buildState for an already-materialized snapshot —
+// the live rebuilder hands it incrementally patched CSRs directly.
+func (r *Recommender) buildStateFromSnap(snap *graph.CSR, epoch uint64) (*snapState, error) {
+	st := &snapState{snap: snap, epoch: epoch}
 	st.sens = r.util.Sensitivity(st.snap)
 	if r.kind == MechanismSmoothing {
 		x, err := mechanism.SmoothingXForEpsilon(r.epsilon, st.snap.NumNodes())
@@ -211,6 +260,9 @@ func (r *Recommender) buildState(g *Graph, epoch uint64) (*snapState, error) {
 func (r *Recommender) RefreshSnapshot(g *Graph) error {
 	if g == nil {
 		return ErrNilGraph
+	}
+	if r.live != nil {
+		return errors.New("socialrec: RefreshSnapshot on a live Recommender would desynchronize the mutable graph; mutate via AddEdge/RemoveEdge/AddNode and call Rebuild instead")
 	}
 	r.refreshMu.Lock()
 	defer r.refreshMu.Unlock()
