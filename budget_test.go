@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -101,6 +102,121 @@ func TestAccountantValidation(t *testing.T) {
 	}
 	if _, err := NewAccountant(np, 5); err == nil {
 		t.Error("non-private recommender accepted")
+	}
+}
+
+// TestAccountantExhaustionBoundary spends exactly to the cap, then checks
+// that one more request — by a single ε or by any positive sliver past the
+// boundary — fails with ErrBudgetExhausted and leaves the ledger intact.
+func TestAccountantExhaustionBoundary(t *testing.T) {
+	g := topKGraph(t)
+	rec, err := NewRecommender(g, WithEpsilon(1), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 4
+	a, err := NewAccountant(rec, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := pickTarget(t, g)
+	for i := 0; i < budget; i++ {
+		if _, err := a.Recommend(target); err != nil {
+			t.Fatalf("call %d within budget failed: %v", i, err)
+		}
+	}
+	if got := a.Spent(); got != budget {
+		t.Fatalf("Spent() = %g after spending exactly the cap", got)
+	}
+	if got := a.Remaining(); got != 0 {
+		t.Fatalf("Remaining() = %g at exhaustion", got)
+	}
+	// One more: single and top-k requests must both refuse.
+	if _, err := a.Recommend(target); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("call past the cap: want ErrBudgetExhausted, got %v", err)
+	}
+	if _, err := a.RecommendTopK(target, 2); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("top-k past the cap: want ErrBudgetExhausted, got %v", err)
+	}
+	// The refusals must not have touched the ledger or the spend.
+	if got := a.Spent(); got != budget {
+		t.Fatalf("refused calls changed Spent() to %g", got)
+	}
+	if got := len(a.Ledger()); got != budget {
+		t.Fatalf("refused calls changed ledger length to %d", got)
+	}
+}
+
+// TestAccountantSpendRace hammers the accountant from spenders, top-k
+// spenders, and concurrent readers of every accessor; run under -race it
+// proves the mutex covers the ledger and counters, and the spend invariant
+// holds under arbitrary interleavings.
+func TestAccountantSpendRace(t *testing.T) {
+	g := topKGraph(t)
+	rec, err := NewRecommender(g, WithEpsilon(1), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 64
+	a, err := NewAccountant(rec, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := pickTarget(t, g)
+
+	var wg sync.WaitGroup
+	var granted atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if _, err := a.Recommend(target); err == nil {
+					granted.Add(1)
+				} else if !errors.Is(err, ErrBudgetExhausted) {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if _, err := a.RecommendTopK(target, 2); err == nil {
+					granted.Add(1)
+				} else if !errors.Is(err, ErrBudgetExhausted) {
+					t.Errorf("unexpected top-k error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if spent := a.Spent(); spent < 0 || spent > budget+1e-9 {
+				t.Errorf("Spent() = %g outside [0, %d]", spent, budget)
+				return
+			}
+			_ = a.Remaining()
+			_ = a.Ledger()
+			_ = a.Total()
+		}
+	}()
+	wg.Wait()
+
+	if got := granted.Load(); got != budget {
+		t.Errorf("granted %d calls on a budget of %d", got, budget)
+	}
+	if spent := a.Spent(); spent != budget {
+		t.Errorf("final Spent() = %g, want %d", spent, budget)
+	}
+	if got := len(a.Ledger()); got != budget {
+		t.Errorf("ledger has %d entries, want %d", got, budget)
 	}
 }
 

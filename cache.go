@@ -105,8 +105,12 @@ func (c *vectorCache) get(epoch uint64, target int) (*cachedVector, bool) {
 	key := cacheKey{epoch: epoch, target: target}
 	s.mu.Lock()
 	el, ok := s.entries[key]
+	var val *cachedVector
 	if ok {
 		s.lru.MoveToFront(el)
+		// Read the value inside the critical section: put refreshes
+		// entries in place, so touching el after unlock would race.
+		val = el.Value.(*cacheEntry).val
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -114,7 +118,7 @@ func (c *vectorCache) get(epoch uint64, target int) (*cachedVector, bool) {
 		return nil, false
 	}
 	c.hits.Add(1)
-	return el.Value.(*cacheEntry).val, true
+	return val, true
 }
 
 // contains reports whether (epoch, target) is cached, refreshing its LRU

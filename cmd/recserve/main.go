@@ -1,10 +1,12 @@
 // Command recserve runs the differentially private recommendation service
-// over an edge-list graph.
+// over an edge-list graph or a binary .srsnap snapshot.
 //
 // Usage:
 //
 //	recserve -graph social.txt -epsilon 1 -budget 100 -addr :8080
+//	recserve -snapshot social.srsnap -store mmap
 //	recserve -graph social.txt -live -rebuild-interval 100ms -max-pending 1024
+//	recserve -snapshot social.srsnap -live -persist-snapshot social.srsnap
 //
 // Endpoints:
 //
@@ -13,6 +15,14 @@
 //	GET /v1/recommend?target=42&k=5    private top-k
 //	GET /v1/audit?target=42            accuracy ceiling + expected accuracy
 //	GET /v1/budget                     global privacy budget status
+//
+// Startup: -graph re-parses a SNAP edge list and rebuilds adjacency —
+// minutes on large graphs. -snapshot cold-starts from the checksummed
+// binary snapshot in milliseconds; with -store mmap (or the default auto)
+// the adjacency is served zero-copy straight from the page cache, so peak
+// RSS stays near zero extra and multiple processes share one physical
+// copy. Produce snapshots with recgen -out g.srsnap or
+// socialrec.WriteSnapshotFile.
 //
 // With -live the graph accepts streaming mutations while serving:
 //
@@ -23,11 +33,18 @@
 // Mutations are journaled into a delta log and folded into the serving
 // snapshot by a background rebuilder, debounced by -rebuild-interval and
 // forced early once -max-pending deltas accumulate; until then reads serve
-// the previous consistent snapshot. Mutating the graph is DP-safe
+// the previous consistent snapshot. With -persist-snapshot every swapped
+// snapshot is additionally written (atomically, temp file + rename) to the
+// given .srsnap path, so a restart with -snapshot on that path resumes
+// from the newest persisted graph. Mutating the graph is DP-safe
 // pre-processing: it changes the *input* of future recommendations, not any
 // released output, so every answer remains ε-differentially private with
 // respect to the snapshot that produced it and the privacy budget
 // accounting is unchanged.
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: the listener closes,
+// in-flight requests drain (up to -drain-timeout), the live rebuilder stops,
+// and only then is the snapshot mapping released.
 //
 // The write endpoints are unauthenticated, like the rest of the service:
 // anyone who can reach them can rewrite the serving graph. Run -live only
@@ -35,11 +52,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"socialrec"
@@ -48,28 +69,34 @@ import (
 
 func main() {
 	var (
-		path     = flag.String("graph", "", "edge-list file (required)")
-		directed = flag.Bool("directed", false, "treat the edge list as directed")
-		epsilon  = flag.Float64("epsilon", 1, "per-recommendation privacy parameter")
-		budget   = flag.Float64("budget", 100, "total privacy budget (0 disables budgeting)")
-		mech     = flag.String("mechanism", "exponential", "mechanism: exponential, laplace, smoothing")
-		addr     = flag.String("addr", ":8080", "listen address")
-		seed     = flag.Int64("seed", 0, "seed (0 = time-based; use non-zero only for testing)")
-		cache    = flag.Int("cache", socialrec.DefaultCacheSize, "utility-vector cache entries (0 disables caching)")
-		live     = flag.Bool("live", false, "accept streaming graph mutations (POST /edges, DELETE /edges, POST /nodes)")
-		interval = flag.Duration("rebuild-interval", socialrec.DefaultRebuildInterval, "debounce interval for folding mutations into the serving snapshot (with -live)")
-		maxPend  = flag.Int("max-pending", socialrec.DefaultMaxPendingDeltas, "pending mutations that force an immediate snapshot rebuild (with -live)")
+		path      = flag.String("graph", "", "edge-list file (this or -snapshot is required)")
+		snapPath  = flag.String("snapshot", "", "binary .srsnap snapshot file (this or -graph is required)")
+		storeMode = flag.String("store", "auto", "snapshot backend: auto, heap, or mmap (with -snapshot)")
+		directed  = flag.Bool("directed", false, "treat the edge list as directed (with -graph)")
+		epsilon   = flag.Float64("epsilon", 1, "per-recommendation privacy parameter")
+		budget    = flag.Float64("budget", 100, "total privacy budget (0 disables budgeting)")
+		mech      = flag.String("mechanism", "exponential", "mechanism: exponential, laplace, smoothing")
+		addr      = flag.String("addr", ":8080", "listen address")
+		seed      = flag.Int64("seed", 0, "seed (0 = time-based; use non-zero only for testing)")
+		cache     = flag.Int("cache", socialrec.DefaultCacheSize, "utility-vector cache entries (0 disables caching)")
+		live      = flag.Bool("live", false, "accept streaming graph mutations (POST /edges, DELETE /edges, POST /nodes)")
+		interval  = flag.Duration("rebuild-interval", socialrec.DefaultRebuildInterval, "debounce interval for folding mutations into the serving snapshot (with -live)")
+		maxPend   = flag.Int("max-pending", socialrec.DefaultMaxPendingDeltas, "pending mutations that force an immediate snapshot rebuild (with -live)")
+		persist   = flag.String("persist-snapshot", "", "atomically persist every swapped snapshot to this .srsnap path (with -live)")
+		drain     = flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests")
 	)
 	flag.Parse()
-	if *path == "" {
-		fmt.Fprintln(os.Stderr, "recserve: -graph is required")
+	if (*path == "") == (*snapPath == "") {
+		fmt.Fprintln(os.Stderr, "recserve: exactly one of -graph and -snapshot is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	g, err := socialrec.ReadGraphFile(*path, *directed)
-	if err != nil {
-		log.Fatalf("recserve: %v", err)
+	if *persist != "" && !*live {
+		// Without -live no snapshot swap ever happens, so nothing would
+		// ever be persisted; reject rather than silently never writing.
+		fmt.Fprintln(os.Stderr, "recserve: -persist-snapshot requires -live")
+		flag.Usage()
+		os.Exit(2)
 	}
 
 	var kind socialrec.MechanismKind
@@ -99,11 +126,36 @@ func main() {
 			socialrec.WithMaxPendingDeltas(*maxPend),
 		)
 	}
-	rec, err := socialrec.NewRecommender(g, opts...)
+	if *persist != "" {
+		opts = append(opts, socialrec.WithSnapshotPersist(*persist))
+	}
+
+	loadStart := time.Now()
+	var (
+		rec    *socialrec.Recommender
+		err    error
+		source string
+	)
+	if *snapPath != "" {
+		mode, perr := socialrec.ParseSnapshotMode(*storeMode)
+		if perr != nil {
+			log.Fatalf("recserve: %v", perr)
+		}
+		opts = append(opts, socialrec.WithSnapshotFileMode(*snapPath, mode))
+		rec, err = socialrec.NewRecommender(nil, opts...)
+		source = fmt.Sprintf("snapshot %s (%s)", *snapPath, mode)
+	} else {
+		var g *socialrec.Graph
+		g, err = socialrec.ReadGraphFile(*path, *directed)
+		if err == nil {
+			rec, err = socialrec.NewRecommender(g, opts...)
+		}
+		source = fmt.Sprintf("edge list %s", *path)
+	}
 	if err != nil {
 		log.Fatalf("recserve: %v", err)
 	}
-	defer rec.Close()
+	loadTime := time.Since(loadStart)
 
 	srv, err := recserver.New(recserver.Config{
 		Recommender:  rec,
@@ -118,12 +170,58 @@ func main() {
 	if *live {
 		mode = fmt.Sprintf("live graph (rebuild every %v or %d deltas)", *interval, *maxPend)
 	}
-	log.Printf("recserve: %d nodes, %d edges, eps=%g, budget=%g, %s, listening on %s",
-		g.NumNodes(), g.NumEdges(), *epsilon, *budget, mode, *addr)
+	log.Printf("recserve: loaded %s in %v, eps=%g, budget=%g, %s, listening on %s",
+		source, loadTime.Round(time.Millisecond), *epsilon, *budget, mode, *addr)
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Fatal(server.ListenAndServe())
+
+	// Graceful shutdown: SIGINT/SIGTERM stops the listener and drains
+	// in-flight requests before the rebuilder is closed and the snapshot
+	// mapping (if any) is released — unmapping under an in-flight scan
+	// would fault, so the ordering here is load-bearing.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("recserve: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second signal kills
+		log.Printf("recserve: signal received, draining (up to %v)", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		drained := true
+		if err := server.Shutdown(shutdownCtx); err != nil {
+			drained = false
+			log.Printf("recserve: drain incomplete: %v", err)
+		}
+		// Fold mutations acknowledged since the last debounce tick, so
+		// -persist-snapshot captures everything clients were told
+		// succeeded before the process goes away. Rebuild and persist are
+		// swap-and-write operations, safe even if stragglers are still
+		// being served.
+		if err := rec.Rebuild(); err != nil && !errors.Is(err, socialrec.ErrNotLive) {
+			log.Printf("recserve: final rebuild: %v", err)
+		}
+		if drained {
+			if err := rec.Close(); err != nil {
+				log.Printf("recserve: close: %v", err)
+			}
+		} else {
+			// Stragglers may still be scanning a memory-mapped snapshot;
+			// leave the mapping to process exit rather than unmap under
+			// them.
+			log.Printf("recserve: exiting without unmap")
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("recserve: serve: %v", err)
+		}
+		log.Printf("recserve: shut down cleanly")
+	}
 }

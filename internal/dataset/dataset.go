@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"slices"
 	"strconv"
@@ -24,6 +25,23 @@ import (
 // ErrFormat wraps malformed input errors.
 var ErrFormat = errors.New("dataset: malformed edge list")
 
+// ErrNodeID is returned for node labels outside the supported domain
+// (negative labels; SNAP files use non-negative integers).
+var ErrNodeID = errors.New("dataset: invalid node id")
+
+// ErrTooManyNodes is returned when an edge list references more distinct
+// node labels than Options.MaxNodes allows. Malformed or hostile input
+// (e.g. a corrupted file whose lines parse as ever-new random integers)
+// otherwise grows the label-remap table without bound before any caller
+// sees the graph.
+var ErrTooManyNodes = errors.New("dataset: too many distinct node labels")
+
+// DefaultMaxNodes is the distinct-label cap applied when Options.MaxNodes
+// is zero. It is far above every dataset in the paper (Wiki-Vote has ~7k
+// nodes, the Twitter sample ~2M) while still bounding the remap table well
+// below the int32 node-ID ceiling of the CSR layout.
+const DefaultMaxNodes = 1 << 27
+
 // Options controls parsing behavior.
 type Options struct {
 	// Directed selects a directed graph; the SNAP wiki-Vote file is directed
@@ -33,6 +51,22 @@ type Options struct {
 	// the simple-graph model. When true, a self loop is a format error,
 	// since graph.Graph cannot represent one.
 	KeepSelfLoops bool
+	// MaxNodes caps the number of distinct node labels Read accepts before
+	// returning ErrTooManyNodes: 0 applies DefaultMaxNodes, negative
+	// disables the cap (the int32 CSR node-ID ceiling still applies).
+	MaxNodes int
+}
+
+// maxNodes resolves the configured cap.
+func (o Options) maxNodes() int {
+	switch {
+	case o.MaxNodes == 0:
+		return DefaultMaxNodes
+	case o.MaxNodes < 0:
+		return math.MaxInt32 - 1
+	default:
+		return o.MaxNodes
+	}
 }
 
 // IDMap translates between external node labels and dense internal IDs.
@@ -62,6 +96,8 @@ func Read(r io.Reader, opts Options) (*graph.Graph, *IDMap, error) {
 	ids := &IDMap{toInternal: make(map[int64]int)}
 	type rawEdge struct{ u, v int64 }
 	var edges []rawEdge
+	maxNodes := opts.maxNodes()
+	labelSet := make(map[int64]struct{})
 
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
@@ -84,11 +120,25 @@ func Read(r io.Reader, opts Options) (*graph.Graph, *IDMap, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: line %d: %v", ErrFormat, lineNo, err)
 		}
+		if u < 0 || v < 0 {
+			bad := u
+			if bad >= 0 {
+				bad = v
+			}
+			return nil, nil, fmt.Errorf("%w: line %d: negative label %d", ErrNodeID, lineNo, bad)
+		}
 		if u == v {
 			if opts.KeepSelfLoops {
 				return nil, nil, fmt.Errorf("%w: line %d: self loop %d", ErrFormat, lineNo, u)
 			}
 			continue
+		}
+		// Intern labels as they stream so a pathological file fails at the
+		// cap instead of ballooning the remap table first.
+		labelSet[u] = struct{}{}
+		labelSet[v] = struct{}{}
+		if len(labelSet) > maxNodes {
+			return nil, nil, fmt.Errorf("%w: line %d: more than %d labels", ErrTooManyNodes, lineNo, maxNodes)
 		}
 		edges = append(edges, rawEdge{u, v})
 	}
@@ -96,12 +146,7 @@ func Read(r io.Reader, opts Options) (*graph.Graph, *IDMap, error) {
 		return nil, nil, err
 	}
 
-	// Intern nodes in ascending label order for stable IDs.
-	labelSet := make(map[int64]struct{}, 2*len(edges))
-	for _, e := range edges {
-		labelSet[e.u] = struct{}{}
-		labelSet[e.v] = struct{}{}
-	}
+	// Assign dense IDs in ascending label order for stable results.
 	labels := make([]int64, 0, len(labelSet))
 	for l := range labelSet {
 		labels = append(labels, l)

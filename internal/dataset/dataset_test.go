@@ -93,6 +93,39 @@ func TestReadMalformed(t *testing.T) {
 	}
 }
 
+func TestReadRejectsNegativeLabels(t *testing.T) {
+	for _, in := range []string{"-1 2\n", "2 -1\n", "0 1\n-5 -6\n"} {
+		_, _, err := Read(strings.NewReader(in), Options{})
+		if !errors.Is(err, ErrNodeID) {
+			t.Errorf("input %q: want ErrNodeID, got %v", in, err)
+		}
+	}
+}
+
+func TestReadMaxNodesCap(t *testing.T) {
+	// 5 edges over 6 distinct labels; a cap of 4 must trip mid-stream.
+	in := "0 1\n2 3\n4 5\n"
+	_, _, err := Read(strings.NewReader(in), Options{MaxNodes: 4})
+	if !errors.Is(err, ErrTooManyNodes) {
+		t.Fatalf("want ErrTooManyNodes, got %v", err)
+	}
+	// At the cap exactly, the same input parses.
+	g, _, err := Read(strings.NewReader(in), Options{MaxNodes: 6})
+	if err != nil || g.NumNodes() != 6 {
+		t.Fatalf("cap == distinct labels should parse: n=%v err=%v", g, err)
+	}
+	// Negative disables the cap.
+	if _, _, err := Read(strings.NewReader(in), Options{MaxNodes: -1}); err != nil {
+		t.Fatalf("MaxNodes<0 should disable the cap: %v", err)
+	}
+	// Pathological labels count the same as small ones: huge magnitudes
+	// are fine, it is the distinct count that is bounded.
+	huge := "9223372036854775806 9223372036854775805\n"
+	if g, ids, err := Read(strings.NewReader(huge), Options{}); err != nil || g.NumNodes() != 2 || ids.External(1) != 9223372036854775806 {
+		t.Fatalf("huge labels: g=%v err=%v", g, err)
+	}
+}
+
 func TestReadEmptyAndCommentsOnly(t *testing.T) {
 	g, ids, err := Read(strings.NewReader("# nothing\n% percent comment\n\n"), Options{})
 	if err != nil {

@@ -96,15 +96,11 @@ func TestReadHugeNodeIDs(t *testing.T) {
 }
 
 func TestReadNegativeIDsRejectedGracefully(t *testing.T) {
-	// Negative labels parse as int64 and are legal external labels.
-	g, ids, err := Read(strings.NewReader("-5 7\n"), Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if g.NumNodes() != 2 {
-		t.Errorf("n=%d", g.NumNodes())
-	}
-	if id, ok := ids.Internal(-5); !ok || id != 0 {
-		t.Errorf("Internal(-5) = %d, %v", id, ok)
+	// SNAP labels are non-negative; a negative label is malformed input
+	// and must fail with the typed error rather than growing the remap
+	// table.
+	_, _, err := Read(strings.NewReader("-5 7\n"), Options{})
+	if !errors.Is(err, ErrNodeID) {
+		t.Fatalf("want ErrNodeID, got %v", err)
 	}
 }

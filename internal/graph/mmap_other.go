@@ -1,0 +1,18 @@
+//go:build !unix
+
+package graph
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported gates the zero-copy path; non-unix hosts fall back to a
+// heap decode inside OpenMapped.
+const mmapSupported = false
+
+var errMmapUnsupported = errors.New("graph: mmap not supported on this platform")
+
+func mmapFile(f *os.File, size int) ([]byte, error) { return nil, errMmapUnsupported }
+
+func munmapFile(data []byte) error { return nil }

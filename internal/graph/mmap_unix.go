@@ -1,0 +1,25 @@
+//go:build unix
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy path; unix hosts map snapshots
+// directly.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared, so every process
+// serving the same snapshot file shares one physical copy via the page
+// cache.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size == 0 {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,119 @@
+package graph
+
+// Store is the read-only snapshot interface every layer above the graph
+// package serves from. It is the narrow contract between the storage layer
+// and the recommendation engine: degree and neighbor-span queries, the two
+// neighborhood scans the utility functions are built from, and an
+// incremental Patch producing a writable copy-on-write overlay.
+//
+// Two interchangeable backends implement it: the heap-resident *CSR built
+// by Graph.Snapshot or decoded from a snapshot file, and the zero-copy
+// *Mapped store serving straight out of a memory-mapped .srsnap file (see
+// snapshot.go for the format). Both expose bit-identical adjacency, so a
+// Recommender's output distribution — and therefore its ε-DP guarantee —
+// does not depend on which backend is plugged in; only representation
+// changes, never the mechanism.
+//
+// The interface is sealed (note the unexported sections method): backends
+// live in this package so the codec can rely on the raw section layout.
+type Store interface {
+	// NumNodes returns the number of nodes in the snapshot.
+	NumNodes() int
+	// NumEdges returns the number of graph edges (each undirected edge
+	// counted once).
+	NumEdges() int
+	// NumArcs returns the number of stored out-adjacency entries: m for
+	// directed snapshots, 2m for undirected ones. It is the size proxy
+	// rebuild heuristics use.
+	NumArcs() int
+	// Directed reports whether the snapshot came from a directed graph.
+	Directed() bool
+	// Out returns the sorted out-neighbors of v as a shared span; callers
+	// must not modify it.
+	Out(v int) []int32
+	// In returns the sorted in-neighbors of v (Out for undirected
+	// snapshots); callers must not modify it.
+	In(v int) []int32
+	// OutDegree returns the out-degree of v.
+	OutDegree(v int) int
+	// InDegree returns the in-degree of v.
+	InDegree(v int) int
+	// MaxDegree returns the maximum total degree over all nodes.
+	MaxDegree() int
+	// HasEdge reports whether u->v is present.
+	HasEdge(u, v int) bool
+	// CommonNeighborsFrom counts length-2 out-walks from r; see CSR.
+	CommonNeighborsFrom(r int) []int
+	// WalkCountsFrom counts bounded-length out-walks from r; see CSR.
+	WalkCountsFrom(r int, maxLen int) [][]float64
+	// ForEachOutNeighbor calls fn for every out-neighbor of v in ascending
+	// order.
+	ForEachOutNeighbor(v int, fn func(u int))
+	// Patch returns a heap CSR equal to the snapshot with the delta batch
+	// applied; untouched rows are copied out of the backing store, so the
+	// result never aliases a memory mapping and stays valid after the
+	// source store is closed.
+	Patch(deltas []Delta) *CSR
+
+	// sections exposes the raw CSR arrays to the snapshot codec.
+	sections() storeSections
+}
+
+// storeSections is the raw columnar layout shared by every backend: the
+// out-adjacency (Index/Adj) and, for directed snapshots, the mirrored
+// in-adjacency.
+type storeSections struct {
+	index, adj     []int32
+	inIndex, inAdj []int32
+	directed       bool
+}
+
+// Compile-time backend checks.
+var (
+	_ Store = (*CSR)(nil)
+	_ Store = (*Mapped)(nil)
+)
+
+// NumEdges returns the number of graph edges in the snapshot (each
+// undirected edge counted once).
+func (c *CSR) NumEdges() int {
+	if c.directed {
+		return len(c.Adj)
+	}
+	return len(c.Adj) / 2
+}
+
+// NumArcs returns the number of stored out-adjacency entries.
+func (c *CSR) NumArcs() int { return len(c.Adj) }
+
+func (c *CSR) sections() storeSections {
+	return storeSections{index: c.Index, adj: c.Adj, inIndex: c.inIndex, inAdj: c.inAdj, directed: c.directed}
+}
+
+// FromStore materializes a mutable Graph with the same nodes, edges, and
+// directedness as the snapshot. It is how a process cold-started from a
+// snapshot file bootstraps the live-mutation subsystem, which needs a
+// mutable basis. The error path only triggers on a corrupted store whose
+// adjacency violates the simple-graph invariants (self loops, duplicate
+// entries).
+func FromStore(s Store) (*Graph, error) {
+	n := s.NumNodes()
+	directed := s.Directed()
+	var g *Graph
+	if directed {
+		g = NewDirected(n)
+	} else {
+		g = New(n)
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range s.Out(v) {
+			if !directed && int(u) < v {
+				continue // each undirected edge appears in both rows
+			}
+			if err := g.AddEdge(v, int(u)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}

@@ -32,10 +32,15 @@ type View interface {
 	ForEachOutNeighbor(v int, fn func(u int))
 }
 
-// Compile-time checks that both graph representations satisfy View.
+// Compile-time checks that every graph representation satisfies View: the
+// mutable graph, both snapshot-store backends, and the graph.Store
+// interface itself, so any future backend is a View by construction and
+// the adjacency scans here never depend on which store serves them.
 var (
 	_ View = (*graph.Graph)(nil)
 	_ View = (*graph.CSR)(nil)
+	_ View = (*graph.Mapped)(nil)
+	_ View = (graph.Store)(nil)
 )
 
 // ErrTarget is returned when the target node is out of range.

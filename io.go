@@ -6,6 +6,7 @@ import (
 	"socialrec/internal/dataset"
 	"socialrec/internal/distribution"
 	"socialrec/internal/gen"
+	"socialrec/internal/graph"
 )
 
 // ReadGraph parses a SNAP-style edge list ('#' comments, one "from to" pair
@@ -27,6 +28,18 @@ func WriteGraph(w io.Writer, g *Graph) error { return dataset.Write(w, g) }
 
 // WriteGraphFile stores g at path, gzip-compressing ".gz" names.
 func WriteGraphFile(path string, g *Graph) error { return dataset.WriteFile(path, g) }
+
+// WriteSnapshotFile persists a binary .srsnap snapshot of g at path,
+// written atomically (temp file + rename). The file cold-starts a serving
+// process via OpenSnapshot or WithSnapshotFile in milliseconds — no
+// edge-list re-parse, no adjacency rebuild — and can be memory-mapped to
+// serve straight from the page cache.
+func WriteSnapshotFile(path string, g *Graph) error {
+	if g == nil {
+		return ErrNilGraph
+	}
+	return graph.WriteSnapshotFile(path, g.Snapshot())
+}
 
 // GenerateSocialGraph returns a synthetic undirected social graph with n
 // nodes, about m edges, and the heavy-tailed degree distribution typical of

@@ -75,6 +75,10 @@ type LiveStats struct {
 	// ahead of the serving snapshot by PendingDeltas mutations).
 	Nodes int `json:"nodes"`
 	Edges int `json:"edges"`
+	// SnapshotsPersisted and PersistErrors count the atomic snapshot-file
+	// writes performed after swaps when WithSnapshotPersist is configured.
+	SnapshotsPersisted uint64 `json:"snapshots_persisted"`
+	PersistErrors      uint64 `json:"persist_errors"`
 }
 
 // AddEdge inserts the edge u->v (or {u,v} for undirected graphs) into the
@@ -160,6 +164,8 @@ func (r *Recommender) LiveStats() (stats LiveStats, ok bool) {
 		IncrementalRebuilds: lv.incremental.Load(),
 		Nodes:               lv.mut.NumNodes(),
 		Edges:               lv.mut.NumEdges(),
+		SnapshotsPersisted:  r.persists.Load(),
+		PersistErrors:       r.persistErrs.Load(),
 	}, true
 }
 
@@ -186,17 +192,33 @@ func (r *Recommender) Rebuild() error {
 	if lv == nil {
 		return ErrNotLive
 	}
+	st, err := r.rebuildLocked(lv)
+	if err != nil || st == nil {
+		return err
+	}
+	r.persistSwapped(st)
+	return nil
+}
+
+// rebuildLocked performs the swap under refreshMu and returns the new
+// state (nil when nothing was pending). Persistence deliberately happens
+// outside the lock: a multi-second disk write must not stall subsequent
+// swaps.
+func (r *Recommender) rebuildLocked(lv *liveState) (*snapState, error) {
 	r.refreshMu.Lock()
 	defer r.refreshMu.Unlock()
 	pending := lv.mut.Pending()
 	if pending == 0 {
-		return nil
+		return nil, nil
 	}
 	cur := r.state.Load()
 	var snap *graph.CSR
 	incremental := !lv.forceFull && patchWorthwhile(pending, cur.snap)
 	if incremental {
 		deltas := lv.mut.Drain()
+		// Patch copies touched and untouched rows out of whichever store
+		// backs the current snapshot (heap or mmap), so the overlay is a
+		// plain heap CSR with no ties to a mapping.
 		snap = cur.snap.Patch(deltas)
 	} else {
 		snap, _ = lv.mut.SnapshotAndDrain()
@@ -207,7 +229,7 @@ func (r *Recommender) Rebuild() error {
 		// incremental basis is lost, so the next attempt must re-snapshot
 		// the full graph (which is always self-consistent).
 		lv.forceFull = true
-		return err
+		return nil, err
 	}
 	lv.forceFull = false
 	r.state.Store(st)
@@ -215,29 +237,56 @@ func (r *Recommender) Rebuild() error {
 	if incremental {
 		lv.incremental.Add(1)
 	}
-	return nil
+	return st, nil
+}
+
+// persistSwapped writes a swapped-in snapshot to the WithSnapshotPersist
+// path, atomically via temp file + rename. Writes are serialized by their
+// own mutex — never by refreshMu, so a slow disk cannot stall swaps — and
+// the epoch guard keeps a delayed older write from replacing a newer
+// snapshot already on disk. Persistence is best-effort: a full disk must
+// not take down serving, so failures only bump a counter surfaced through
+// LiveStats.
+func (r *Recommender) persistSwapped(st *snapState) {
+	if r.persistPath == "" {
+		return
+	}
+	r.persistMu.Lock()
+	defer r.persistMu.Unlock()
+	if st.epoch < r.persistEpoch {
+		return // a newer snapshot is already persisted
+	}
+	if err := graph.WriteSnapshotFile(r.persistPath, st.snap); err != nil {
+		r.persistErrs.Add(1)
+		return
+	}
+	r.persistEpoch = st.epoch
+	r.persists.Add(1)
 }
 
 // patchWorthwhile decides between the incremental patch and a from-scratch
 // snapshot: patching copies the adjacency arrays wholesale either way, so
 // it wins until the edit count is a sizable fraction of the snapshot.
-func patchWorthwhile(pending int, snap *graph.CSR) bool {
-	return pending*4 <= snap.NumNodes()+len(snap.Adj)+64
+func patchWorthwhile(pending int, snap graph.Store) bool {
+	return pending*4 <= snap.NumNodes()+snap.NumArcs()+64
 }
 
-// Close stops the background rebuilder goroutine, if any, and waits for it
-// to exit. Pending deltas are left journaled; call Rebuild first if they
-// must be folded in. Close is idempotent and a no-op for non-live
-// Recommenders.
+// Close stops the background rebuilder goroutine, if any, waits for it to
+// exit, and releases the snapshot file the Recommender owns when it was
+// built with WithSnapshotFile. Pending deltas are left journaled; call
+// Rebuild first if they must be folded in. Close is idempotent. For
+// memory-mapped snapshots, call Close only after in-flight requests have
+// drained: unmapping while a request still scans the mapping is unsafe.
 func (r *Recommender) Close() error {
-	lv := r.live
-	if lv == nil {
-		return nil
+	if lv := r.live; lv != nil {
+		lv.closeOnce.Do(func() {
+			close(lv.stop)
+			<-lv.done
+		})
 	}
-	lv.closeOnce.Do(func() {
-		close(lv.stop)
-		<-lv.done
-	})
+	if r.ownedSnap != nil {
+		return r.ownedSnap.Close()
+	}
 	return nil
 }
 

@@ -112,6 +112,53 @@ func WithMaxPendingDeltas(n int) Option {
 	}
 }
 
+// WithSnapshotFile makes NewRecommender cold-start from the .srsnap
+// snapshot file at path instead of an in-memory graph: pass nil as the
+// graph argument. The file is opened in SnapshotAuto mode (memory-mapped
+// where the platform allows, zero-copy serving out of the page cache); the
+// Recommender owns the opened snapshot and releases it in Close. Combine
+// with WithLiveMutations to accept streaming writes on top of the loaded
+// snapshot — the mutable basis is materialized from the file once at
+// construction.
+func WithSnapshotFile(path string) Option {
+	return WithSnapshotFileMode(path, SnapshotAuto)
+}
+
+// WithSnapshotFileMode is WithSnapshotFile with an explicit backend choice
+// (SnapshotAuto, SnapshotHeap, or SnapshotMmap).
+func WithSnapshotFileMode(path string, mode SnapshotMode) Option {
+	return func(r *Recommender) error {
+		if path == "" {
+			return fmt.Errorf("socialrec: WithSnapshotFile(%q): empty path", path)
+		}
+		switch mode {
+		case SnapshotAuto, SnapshotHeap, SnapshotMmap:
+		default:
+			return fmt.Errorf("socialrec: WithSnapshotFileMode(%q, %v): unknown mode", path, mode)
+		}
+		r.pendingSnapshotFile = path
+		r.pendingSnapshotMode = mode
+		return nil
+	}
+}
+
+// WithSnapshotPersist makes the Recommender persist every swapped-in
+// snapshot — each live rebuild and each RefreshSnapshot — to the .srsnap
+// file at path, written atomically (temp file + rename) so readers and
+// crashes only ever observe a complete snapshot. A process restarted with
+// WithSnapshotFile(path) then resumes from the last persisted graph instead
+// of its original input. Persistence failures never fail the swap; they are
+// counted in LiveStats.PersistErrors.
+func WithSnapshotPersist(path string) Option {
+	return func(r *Recommender) error {
+		if path == "" {
+			return fmt.Errorf("socialrec: WithSnapshotPersist(%q): empty path", path)
+		}
+		r.persistPath = path
+		return nil
+	}
+}
+
 // NonPrivate disables privacy protection entirely (R_best). It exists so
 // that examples and benchmarks can report the non-private baseline; never
 // ship it to users whose graph edges are sensitive.

@@ -107,12 +107,13 @@ type Recommendation struct {
 }
 
 // snapState bundles every piece of Recommender state derived from one graph
-// snapshot: the immutable CSR itself, the utility sensitivity Δf on it, the
-// smoothing weight x (MechanismSmoothing only), and the cache epoch. The
-// bundle is swapped atomically by RefreshSnapshot, so concurrent requests
-// always observe a consistent (snapshot, Δf, x, epoch) quadruple.
+// snapshot: the immutable store itself (heap CSR or mmap-backed, see
+// graph.Store), the utility sensitivity Δf on it, the smoothing weight x
+// (MechanismSmoothing only), and the cache epoch. The bundle is swapped
+// atomically by RefreshSnapshot, so concurrent requests always observe a
+// consistent (snapshot, Δf, x, epoch) quadruple.
 type snapState struct {
-	snap  *graph.CSR
+	snap  graph.Store
 	sens  float64
 	x     float64
 	epoch uint64
@@ -147,13 +148,31 @@ type Recommender struct {
 	// readers never take it.
 	refreshMu sync.Mutex
 
+	// ownedSnap is the snapshot file this Recommender opened itself (via
+	// WithSnapshotFile) and therefore closes in Close.
+	ownedSnap *Snapshot
+
+	// persistPath, when non-empty, is where every swapped-in snapshot is
+	// atomically persisted (temp file + rename); see WithSnapshotPersist.
+	// persistMu serializes the disk writes outside refreshMu — a slow
+	// persist must not stall snapshot swaps — and guards persistEpoch,
+	// which keeps a delayed older write from clobbering a newer snapshot.
+	persistPath  string
+	persistMu    sync.Mutex
+	persistEpoch uint64
+	persists     atomic.Uint64
+	persistErrs  atomic.Uint64
+
 	// pendingCacheSize carries the WithCache option value from option
 	// application to construction; pendingLive and the rebuild knobs do the
-	// same for the live-mutation options.
-	pendingCacheSize  int
-	pendingLive       bool
-	pendingInterval   time.Duration
-	pendingMaxPending int
+	// same for the live-mutation options, and pendingSnapshotFile/-Mode for
+	// WithSnapshotFile.
+	pendingCacheSize    int
+	pendingLive         bool
+	pendingInterval     time.Duration
+	pendingMaxPending   int
+	pendingSnapshotFile string
+	pendingSnapshotMode SnapshotMode
 }
 
 // Errors returned by the Recommender.
@@ -180,10 +199,42 @@ var (
 // configuration is the exponential mechanism with ε = 1 and the
 // common-neighbors utility. Mutating g afterwards does not affect the
 // Recommender (use RefreshSnapshot to pick up graph changes).
+//
+// With WithSnapshotFile, g must be nil: the Recommender cold-starts from
+// the named .srsnap file instead of an in-memory graph, owns the opened
+// snapshot, and releases it in Close.
 func NewRecommender(g *Graph, opts ...Option) (*Recommender, error) {
-	if g == nil {
-		return nil, ErrNilGraph
+	r, err := configureRecommender(opts)
+	if err != nil {
+		return nil, err
 	}
+	if g == nil {
+		if r.pendingSnapshotFile == "" {
+			return nil, ErrNilGraph
+		}
+		if err := r.initFromSnapshotFile(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+	if r.pendingSnapshotFile != "" {
+		return nil, fmt.Errorf("socialrec: WithSnapshotFile(%q) conflicts with a non-nil graph; pass nil", r.pendingSnapshotFile)
+	}
+	st, err := r.buildState(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Clone preserves the constructor contract that mutating the caller's
+	// graph never affects the Recommender.
+	if err := r.finishInit(st, func() (*Graph, error) { return g.Clone(), nil }); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// configureRecommender applies the option list over the defaults and
+// validates the cross-option invariants.
+func configureRecommender(opts []Option) (*Recommender, error) {
 	r := &Recommender{
 		util:    utility.CommonNeighbors{},
 		kind:    MechanismExponential,
@@ -198,19 +249,44 @@ func NewRecommender(g *Graph, opts ...Option) (*Recommender, error) {
 	if r.kind != MechanismNone && !(r.epsilon > 0) {
 		return nil, fmt.Errorf("socialrec: epsilon %g must be positive", r.epsilon)
 	}
-	st, err := r.buildState(g, 0)
+	return r, nil
+}
+
+// initFromSnapshotFile cold-starts the Recommender from the WithSnapshotFile
+// path, taking ownership of the opened snapshot.
+func (r *Recommender) initFromSnapshotFile() error {
+	snap, err := OpenSnapshot(r.pendingSnapshotFile, r.pendingSnapshotMode)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	st, err := r.buildStateFromSnap(snap.store, 0)
+	if err != nil {
+		snap.Close()
+		return err
+	}
+	if err := r.finishInit(st, func() (*Graph, error) { return graph.FromStore(snap.store) }); err != nil {
+		snap.Close()
+		return err
+	}
+	r.ownedSnap = snap
+	return nil
+}
+
+// finishInit installs the initial snapState, enables the cache, and — when
+// live mutations were requested — materializes the mutable basis via
+// mutableBase and starts the background rebuilder.
+func (r *Recommender) finishInit(st *snapState, mutableBase func() (*Graph, error)) error {
 	r.state.Store(st)
 	if r.pendingCacheSize != 0 {
 		r.EnableCache(r.pendingCacheSize)
 	}
 	if r.pendingLive {
+		base, err := mutableBase()
+		if err != nil {
+			return err
+		}
 		lv := &liveState{
-			// Clone preserves the constructor contract that mutating the
-			// caller's graph never affects the Recommender.
-			mut:        graph.NewMutable(g.Clone()),
+			mut:        graph.NewMutable(base),
 			interval:   r.pendingInterval,
 			maxPending: r.pendingMaxPending,
 			kick:       make(chan struct{}, 1),
@@ -226,7 +302,7 @@ func NewRecommender(g *Graph, opts ...Option) (*Recommender, error) {
 		r.live = lv
 		go r.rebuildLoop(lv)
 	}
-	return r, nil
+	return nil
 }
 
 // buildState computes every snapshot-derived quantity for g at the given
@@ -235,9 +311,10 @@ func (r *Recommender) buildState(g *Graph, epoch uint64) (*snapState, error) {
 	return r.buildStateFromSnap(g.Snapshot(), epoch)
 }
 
-// buildStateFromSnap is buildState for an already-materialized snapshot —
-// the live rebuilder hands it incrementally patched CSRs directly.
-func (r *Recommender) buildStateFromSnap(snap *graph.CSR, epoch uint64) (*snapState, error) {
+// buildStateFromSnap is buildState for an already-materialized snapshot
+// store — the live rebuilder hands it incrementally patched CSRs, and the
+// snapshot-file constructors hand it heap or mmap-backed stores.
+func (r *Recommender) buildStateFromSnap(snap graph.Store, epoch uint64) (*snapState, error) {
 	st := &snapState{snap: snap, epoch: epoch}
 	st.sens = r.util.Sensitivity(st.snap)
 	if r.kind == MechanismSmoothing {
@@ -264,13 +341,20 @@ func (r *Recommender) RefreshSnapshot(g *Graph) error {
 	if r.live != nil {
 		return errors.New("socialrec: RefreshSnapshot on a live Recommender would desynchronize the mutable graph; mutate via AddEdge/RemoveEdge/AddNode and call Rebuild instead")
 	}
-	r.refreshMu.Lock()
-	defer r.refreshMu.Unlock()
-	st, err := r.buildState(g, r.state.Load().epoch+1)
+	st, err := func() (*snapState, error) {
+		r.refreshMu.Lock()
+		defer r.refreshMu.Unlock()
+		st, err := r.buildState(g, r.state.Load().epoch+1)
+		if err != nil {
+			return nil, err
+		}
+		r.state.Store(st)
+		return st, nil
+	}()
 	if err != nil {
 		return err
 	}
-	r.state.Store(st)
+	r.persistSwapped(st)
 	return nil
 }
 
