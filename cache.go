@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"socialrec/internal/mechanism"
 )
 
 // The utility-vector cache memoizes the deterministic pre-processing stage
@@ -41,20 +43,80 @@ type CacheStats struct {
 	Entries int `json:"entries"`
 	// Capacity is the configured entry cap.
 	Capacity int `json:"capacity"`
+	// Bytes approximates the resident size of all cached entries. Sparse
+	// entries cost O(nonzeros), not O(n); recbench tracks the per-entry
+	// figure against the dense representation.
+	Bytes int64 `json:"approx_bytes"`
 }
 
-// cachedVector is the immutable per-target pre-processing result. The
-// slices are shared between the cache and all readers and must never be
-// mutated after insertion. umax == 0 records a negative result (the target
-// has no positive-utility candidate), so repeated requests for hopeless
-// targets are served without a graph scan too.
+// cachedVector is the immutable per-target pre-processing result, held in
+// sparse form: on sparse graphs a target's utility vector has a few hundred
+// nonzeros out of n, so an entry costs O(nnz) bytes instead of the O(n) a
+// dense vector + candidate list would (the recbench sparse scenario
+// measures the reduction). The slices are shared between the cache and all
+// readers and must never be mutated after insertion. umax == 0 records a
+// negative result (the target has no positive-utility candidate), so
+// repeated requests for hopeless targets are served without a graph scan
+// too.
 type cachedVector struct {
-	vec        []float64
-	candidates []int
-	umax       float64
-	// cdf is the exponential mechanism's cumulative weight vector for vec
-	// (nil for other mechanisms); see Exponential.CDF.
-	cdf []float64
+	// idx holds the candidate node IDs with nonzero utility, ascending; val
+	// the matching utilities (utility.Function.Sparse output).
+	idx []int32
+	val []float64
+	// umax is the maximum utility (R_best's score).
+	umax float64
+	// ncand is the total candidate-domain size: len(idx) nonzeros plus
+	// ncand-len(idx) implicit zero-utility candidates.
+	ncand int
+	// skip is the sorted union of the non-candidates (the target and its
+	// out-neighbors) and idx: the order-statistic table that maps a
+	// mechanism's zero-tail rank back to a node ID in O(log) time.
+	skip []int32
+	// cdf is the exponential mechanism's sparse cumulative-weight form
+	// (nil for other mechanisms); see mechanism.SparseCDF.
+	cdf *mechanism.SparseCDF
+}
+
+// sparseVec is the mechanism-facing view of the cached entry.
+func (cv *cachedVector) sparseVec() mechanism.SparseVec {
+	return mechanism.SparseVec{Val: cv.val, N: cv.ncand}
+}
+
+// resolve maps a mechanism pick back to (node ID, raw utility): support
+// picks read the cached arrays, tail picks select the rank-th node not in
+// the skip table.
+func (cv *cachedVector) resolve(p mechanism.Pick) (int, float64) {
+	if !p.IsTail() {
+		return int(cv.idx[p.Support]), cv.val[p.Support]
+	}
+	return complementSelect(cv.skip, p.Tail), 0
+}
+
+// bytes approximates the entry's resident footprint, reported through
+// CacheStats for capacity planning and the recbench memory comparison.
+func (cv *cachedVector) bytes() int {
+	b := 64 + 4*len(cv.idx) + 8*len(cv.val) + 4*len(cv.skip)
+	if cv.cdf != nil {
+		b += cv.cdf.Bytes()
+	}
+	return b
+}
+
+// complementSelect returns the k-th (0-based, ascending) node ID absent
+// from the sorted skip table: binary search for the first position i with
+// skip[i]-i > k — i is then the number of skipped IDs at or below the
+// answer k+i.
+func complementSelect(skip []int32, k int) int {
+	lo, hi := 0, len(skip)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(skip[mid])-mid > k {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return k + lo
 }
 
 type cacheKey struct {
@@ -72,6 +134,10 @@ type cacheShard struct {
 	entries map[cacheKey]*list.Element
 	lru     list.List // front = most recently used
 	cap     int
+	// bytes is the running footprint of the shard's entries, maintained on
+	// insert/refresh/evict so stats() stays O(1) per shard instead of
+	// walking the LRU under the lock.
+	bytes int64
 }
 
 // vectorCache is a sharded, epoch-keyed LRU cache of cachedVector values.
@@ -144,16 +210,21 @@ func (c *vectorCache) put(epoch uint64, target int, val *cachedVector) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.entries[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		ent := el.Value.(*cacheEntry)
+		s.bytes += int64(val.bytes()) - int64(ent.val.bytes())
+		ent.val = val
 		s.lru.MoveToFront(el)
 		return
 	}
 	for s.lru.Len() >= s.cap {
 		oldest := s.lru.Back()
 		s.lru.Remove(oldest)
-		delete(s.entries, oldest.Value.(*cacheEntry).key)
+		ent := oldest.Value.(*cacheEntry)
+		s.bytes -= int64(ent.val.bytes())
+		delete(s.entries, ent.key)
 	}
 	s.entries[key] = s.lru.PushFront(&cacheEntry{key: key, val: val})
+	s.bytes += int64(val.bytes())
 }
 
 // stats gathers a point-in-time snapshot across all shards.
@@ -167,6 +238,7 @@ func (c *vectorCache) stats() CacheStats {
 		s := &c.shards[i]
 		s.mu.Lock()
 		st.Entries += s.lru.Len()
+		st.Bytes += s.bytes
 		s.mu.Unlock()
 	}
 	return st

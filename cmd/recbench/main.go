@@ -11,6 +11,7 @@
 //	recbench -laplace 1000        # also evaluate the Laplace mechanism
 //	recbench -wiki wiki-Vote.txt  # use the real SNAP dataset when available
 //	recbench -servebench BENCH_serve.json  # serving-engine perf snapshot
+//	recbench -servebench BENCH_serve.json -quick  # CI smoke: sparse-vs-dense guardrail
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 		sweep      = flag.Bool("sweep", false, "run the epsilon sweep ablation instead of the figures")
 		compare    = flag.Bool("compare", false, "run the §7.2 Laplace-vs-Exponential comparison table")
 		servebench = flag.String("servebench", "", "run the serving benchmark and write a perf snapshot to this file (e.g. BENCH_serve.json)")
+		quick      = flag.Bool("quick", false, "with -servebench: CI smoke mode — skip the 500k-node scenario and fail if the sparse uncached path is slower than dense")
 	)
 	flag.Parse()
 
@@ -49,7 +51,7 @@ func main() {
 	}
 
 	if *servebench != "" {
-		if err := runServeBench(opts, *servebench); err != nil {
+		if err := runServeBench(opts, *servebench, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "recbench:", err)
 			os.Exit(1)
 		}

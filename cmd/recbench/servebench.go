@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -12,6 +13,9 @@ import (
 
 	"socialrec"
 	"socialrec/internal/experiment"
+	"socialrec/internal/gen"
+	"socialrec/internal/mechanism"
+	"socialrec/internal/utility"
 )
 
 // The serve benchmark measures the hot serving path the library optimizes —
@@ -42,6 +46,135 @@ type serveBenchResult struct {
 	CacheMisses    uint64  `json:"cache_misses"`
 
 	ColdStart coldStartResult `json:"cold_start"`
+
+	Sparse sparseBenchResult `json:"sparse"`
+}
+
+// sparseBenchResult compares the dense O(n) serving pipeline (full utility
+// vector -> candidate list -> compact vector -> dense mechanism pass, what
+// serving did before sparsification) against the sparse O(nnz) pipeline
+// (nonzero kernel + two-stage zero-tail draw) on a power-law graph — a
+// ~500k-node one in the full run, the CI dataset with -quick.
+type sparseBenchResult struct {
+	Scenario string `json:"scenario"`
+	Nodes    int    `json:"nodes"`
+	Edges    int    `json:"edges"`
+	Targets  int    `json:"distinct_targets"`
+	// MeanSupport is the mean nonzero count per utility vector — the nnz
+	// that replaces n in every per-request cost.
+	MeanSupport float64 `json:"mean_nonzeros_per_target"`
+
+	DenseUncachedNsOp  float64 `json:"dense_uncached_ns_per_op"`
+	SparseUncachedNsOp float64 `json:"sparse_uncached_ns_per_op"`
+	UncachedSpeedup    float64 `json:"uncached_speedup"`
+
+	// Cached memory: what one cache entry costs in the dense representation
+	// (compact vector + candidate list + CDF) versus the sparse one
+	// (support idx/val + skip table + sparse CDF), bytes per target.
+	DenseBytesPerEntry   float64 `json:"dense_cached_bytes_per_entry"`
+	SparseBytesPerEntry  float64 `json:"sparse_cached_bytes_per_entry"`
+	CachedBytesReduction float64 `json:"cached_bytes_reduction"`
+
+	SparseCachedNsOp float64 `json:"sparse_cached_ns_per_op"`
+	TopK5NsOp        float64 `json:"sparse_topk5_cached_ns_per_op"`
+}
+
+// runSparseBench measures both pipelines over the same serveable targets.
+func runSparseBench(g *socialrec.Graph, scenario string, denseOps, sparseOps int) (sparseBenchResult, error) {
+	res := sparseBenchResult{Scenario: scenario, Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	snap := g.Snapshot()
+	cn := utility.CommonNeighbors{}
+	e := mechanism.Exponential{Epsilon: 1, Sensitivity: cn.Sensitivity(snap)}
+
+	// Collect serveable targets (nonzero support) and the dense-entry cost
+	// they would carry in a cache.
+	const wantTargets = 48
+	var targets []int
+	var supportSum, denseBytes float64
+	for v := 0; v < snap.NumNodes() && len(targets) < wantTargets; v++ {
+		idx, val, err := cn.Sparse(snap, v)
+		if err != nil {
+			return res, err
+		}
+		if utility.Max(val) == 0 {
+			continue
+		}
+		targets = append(targets, v)
+		supportSum += float64(len(idx))
+		// The dense cache entry: compact []float64 vector, []int candidate
+		// list, []float64 CDF — 24 bytes per candidate.
+		denseBytes += 24 * float64(utility.CandidateCount(snap, v))
+	}
+	if len(targets) == 0 {
+		return res, errors.New("sparse bench: no serveable targets")
+	}
+	res.Targets = len(targets)
+	res.MeanSupport = supportSum / float64(len(targets))
+	res.DenseBytesPerEntry = denseBytes / float64(len(targets))
+
+	bench := func(n int, fn func(i int)) float64 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(n)
+	}
+
+	// Dense pipeline, uncached: exactly the pre-sparsification serving path.
+	rng := rand.New(rand.NewSource(7))
+	res.DenseUncachedNsOp = bench(denseOps, func(i int) {
+		target := targets[i%len(targets)]
+		full, err := cn.Vector(snap, target)
+		if err != nil {
+			panic(err)
+		}
+		candidates := utility.Candidates(snap, target)
+		vec := utility.Compact(full, candidates)
+		idx, err := e.Recommend(vec, rng)
+		if err != nil {
+			panic(err)
+		}
+		_ = candidates[idx]
+	})
+
+	// Sparse pipeline, uncached.
+	uncached, err := socialrec.NewRecommender(g, socialrec.WithEpsilon(1), socialrec.WithSeed(1))
+	if err != nil {
+		return res, err
+	}
+	res.SparseUncachedNsOp = bench(sparseOps, func(i int) {
+		if _, err := uncached.Recommend(targets[i%len(targets)]); err != nil {
+			panic(err)
+		}
+	})
+	if res.SparseUncachedNsOp > 0 {
+		res.UncachedSpeedup = res.DenseUncachedNsOp / res.SparseUncachedNsOp
+	}
+
+	// Sparse pipeline, cached: entry footprint and steady-state latency.
+	cached, err := socialrec.NewRecommender(g, socialrec.WithEpsilon(1), socialrec.WithSeed(1),
+		socialrec.WithCache(socialrec.DefaultCacheSize))
+	if err != nil {
+		return res, err
+	}
+	cached.Precompute(targets)
+	if st, ok := cached.CacheStats(); ok && st.Entries > 0 {
+		res.SparseBytesPerEntry = float64(st.Bytes) / float64(st.Entries)
+	}
+	if res.SparseBytesPerEntry > 0 {
+		res.CachedBytesReduction = res.DenseBytesPerEntry / res.SparseBytesPerEntry
+	}
+	res.SparseCachedNsOp = bench(4*sparseOps, func(i int) {
+		if _, err := cached.Recommend(targets[i%len(targets)]); err != nil {
+			panic(err)
+		}
+	})
+	res.TopK5NsOp = bench(sparseOps, func(i int) {
+		if _, err := cached.RecommendTopK(targets[i%len(targets)], 5); err != nil {
+			panic(err)
+		}
+	})
+	return res, nil
 }
 
 // coldStartResult compares serving cold-start paths on a synthetic
@@ -66,7 +199,7 @@ type coldStartResult struct {
 	MmapSpeedup float64 `json:"snapshot_mmap_speedup"`
 }
 
-func runServeBench(opts experiment.SuiteOptions, outPath string) error {
+func runServeBench(opts experiment.SuiteOptions, outPath string, quick bool) error {
 	loaded, err := opts.LoadDataset("wiki-vote")
 	if err != nil {
 		return err
@@ -157,6 +290,23 @@ func runServeBench(opts experiment.SuiteOptions, outPath string) error {
 	}
 	res.ColdStart = cold
 
+	// Sparse-vs-dense scenario: the full run generates a ~500k-node
+	// power-law graph (the ROADMAP's million-user regime); -quick reuses
+	// the CI dataset and acts as a performance guardrail instead.
+	if quick {
+		res.Sparse, err = runSparseBench(g, "wiki-vote-quick", 200, 2000)
+	} else {
+		var big *socialrec.Graph
+		big, err = gen.PowerLawConfiguration(500000, 2000000, 1, 1.2, rand.New(rand.NewSource(1)))
+		if err != nil {
+			return err
+		}
+		res.Sparse, err = runSparseBench(big, "powerlaw-500k", 24, 2000)
+	}
+	if err != nil {
+		return err
+	}
+
 	f, err := os.Create(outPath)
 	if err != nil {
 		return err
@@ -176,6 +326,18 @@ func runServeBench(opts experiment.SuiteOptions, outPath string) error {
 		cold.Nodes, cold.Edges,
 		time.Duration(cold.EdgeListNs), time.Duration(cold.SnapshotHeapNs), cold.HeapSpeedup,
 		time.Duration(cold.SnapshotMmapNs), cold.MmapSpeedup)
+	sp := res.Sparse
+	fmt.Printf("sparse %s (%d nodes, %d edges, mean nnz %.0f): dense %.0f ns/op vs sparse %.0f ns/op (%.1fx); cache %.0f -> %.0f bytes/entry (%.1fx); cached %.0f ns/op, top-5 %.0f ns/op\n",
+		sp.Scenario, sp.Nodes, sp.Edges, sp.MeanSupport,
+		sp.DenseUncachedNsOp, sp.SparseUncachedNsOp, sp.UncachedSpeedup,
+		sp.DenseBytesPerEntry, sp.SparseBytesPerEntry, sp.CachedBytesReduction,
+		sp.SparseCachedNsOp, sp.TopK5NsOp)
+	if quick && sp.SparseUncachedNsOp > 1.1*sp.DenseUncachedNsOp {
+		// Guardrail, not an absolute-time gate: only the dense/sparse ratio
+		// on the same machine and dataset is asserted, with 10% headroom.
+		return fmt.Errorf("sparse guardrail: uncached sparse path (%.0f ns/op) slower than dense (%.0f ns/op)",
+			sp.SparseUncachedNsOp, sp.DenseUncachedNsOp)
+	}
 	return nil
 }
 

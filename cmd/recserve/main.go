@@ -15,6 +15,7 @@
 //	GET /v1/recommend?target=42&k=5    private top-k
 //	GET /v1/audit?target=42            accuracy ceiling + expected accuracy
 //	GET /v1/budget                     global privacy budget status
+//	GET /debug/pprof/...               profiling (only with -pprof; operator-only)
 //
 // Startup: -graph re-parses a SNAP edge list and rebuilds adjacency —
 // minutes on large graphs. -snapshot cold-starts from the checksummed
@@ -84,6 +85,7 @@ func main() {
 		maxPend   = flag.Int("max-pending", socialrec.DefaultMaxPendingDeltas, "pending mutations that force an immediate snapshot rebuild (with -live)")
 		persist   = flag.String("persist-snapshot", "", "atomically persist every swapped snapshot to this .srsnap path (with -live)")
 		drain     = flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests")
+		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof (expose only to operators)")
 	)
 	flag.Parse()
 	if (*path == "") == (*snapPath == "") {
@@ -161,6 +163,7 @@ func main() {
 		Recommender:  rec,
 		TotalEpsilon: *budget,
 		CacheSize:    *cache,
+		EnablePprof:  *pprofFlag,
 	})
 	if err != nil {
 		log.Fatalf("recserve: %v", err)

@@ -45,8 +45,9 @@
 // analysis: caching is pure pre-processing in the differential privacy
 // sense, the mechanism's output distribution is bit-for-bit the same with
 // and without it, and the cached raw utilities never leave the process.
-// Repeated-target serving then costs O(candidates) per request instead of a
-// full graph scan.
+// Repeated-target serving then costs O(log nnz) per request — a binary
+// search over the cached sparse CDF — instead of a graph scan, and each
+// entry holds only the nonzero support (see "Serving complexity" below).
 //
 // BatchRecommend and Precompute fan work for many targets across a
 // runtime.NumCPU() worker pool, and RefreshSnapshot swaps in a new graph
@@ -57,6 +58,50 @@
 // recommendation still releases ε of information (the Accountant composes
 // budgets additively regardless of cache hits), because the mechanism draw,
 // not the utility computation, is what consumes the budget.
+//
+// # Serving complexity
+//
+// The paper's utilities are zero outside a target's 2-3-hop out-
+// neighborhood, so on sparse graphs the utility vector has nnz ≈ a few
+// hundred nonzeros out of n candidates. Serving exploits this end to end:
+// utility kernels (utility.Function.Sparse) walk the adjacency spans and
+// return only the nonzero support, and the mechanisms sample over (support
+// + implicit uniform zero tail) in closed form. Per uncached request:
+//
+//	stage                        dense (pre-sparse)   sparse
+//	common neighbors / Jaccard   O(n)                 O(Σ_{a∈out(r)} d_a)
+//	weighted paths (len ≤ L)     O(L·n)               O(L-hop frontier)
+//	rooted PageRank              O(iters·m)           O(iters·reached edges)
+//	degree                       O(n)                 O(n) scan, O(nnz) alloc
+//	candidate bookkeeping        O(n) list            O(1) count + O(d_r+nnz) table
+//	Exponential draw             O(n)                 O(nnz); O(log nnz) cached
+//	Laplace / noisy-max draw     O(n) noise           O(nnz) + 1 closed-form tail max
+//	Smoothing draw               O(n)                 O(nnz)
+//	top-k release                O(n log k) / O(k·n)  O(nnz + k) / O(k·nnz)
+//	expected accuracy (audit)    O(n)                 O(nnz)
+//	cache entry memory           ~24n bytes           ~25·nnz + 4·d_r bytes
+//
+// The zero tail needs no materialization because all zero-utility
+// candidates are exchangeable under every mechanism: the Definition 5
+// weighting gives each of them weight e^0 = 1, so the Exponential draw
+// splits its single uniform between the support CDF and the closed-form
+// tail mass (n_cand-nnz)·e^{-(ε/Δf)·u_max}, and noisy-max mechanisms
+// sample the tail's maximum noise in one inverse-CDF draw (the max of m
+// Laplace variates via U^{1/m}, the max of m Gumbels via ln m + Gumbel). A
+// winning tail rank maps back to a node ID by an O(log) order-statistic
+// lookup over the target's exclusion table.
+//
+// Why sparsification preserves the DP guarantee: it is a pure pre-noise
+// refactor. The sparse kernels return bit-identical nonzero values to the
+// dense vectors (same Δf, same u_max, same candidate domain), and every
+// sparse draw selects from exactly the same output distribution as its
+// dense counterpart — the support/tail split only reorganizes how the same
+// per-candidate probabilities are sampled, it never changes them. The
+// property tests pin this: exact per-node probability equality for
+// Exponential/Smoothing/Best, chi-squared goodness of fit for the
+// two-stage zero-tail draw and for Laplace, and bit-identical fixed-seed
+// draws when the tail is empty. Identical output distribution ⇒ identical
+// ε-DP guarantee and identical budget accounting.
 //
 // # Live graphs
 //

@@ -71,15 +71,33 @@ func Corollary1Accuracy(n, k int, c, eps float64, t int) (float64, error) {
 // thresholds induced by the distinct utility values of u. t is the exact
 // rewiring count for the target (utility.Function.RewireCount).
 func TightestAccuracyBound(u []float64, eps float64, t int) (float64, error) {
+	// Only the positive utilities induce usable thresholds (θ <= 0 gives
+	// c >= 1, outside Corollary 1's range), so the dense vector reduces to
+	// its positive support plus the candidate count.
+	val := make([]float64, 0, len(u))
+	for _, x := range u {
+		if x > 0 {
+			val = append(val, x)
+		}
+	}
+	return TightestAccuracyBoundSparse(val, len(u), eps, t)
+}
+
+// TightestAccuracyBoundSparse is TightestAccuracyBound over the sparse
+// utility form: the positive support val plus ncand-len(val) implicit
+// zeros. The zeros carry no threshold of their own — they enter only
+// through the candidate count n and the c → 1 probe — so the scan costs
+// O(nnz log nnz) instead of O(n log n).
+func TightestAccuracyBoundSparse(val []float64, ncand int, eps float64, t int) (float64, error) {
 	if !(eps > 0) || t < 1 {
 		return 0, fmt.Errorf("%w: TightestAccuracyBound(eps=%g, t=%d)", ErrParams, eps, t)
 	}
-	n := len(u)
+	n := ncand
 	if n < 2 {
 		return 0, fmt.Errorf("%w: need at least 2 candidates", ErrParams)
 	}
 	umax := 0.0
-	for _, x := range u {
+	for _, x := range val {
 		if x > umax {
 			umax = x
 		}
@@ -89,14 +107,14 @@ func TightestAccuracyBound(u []float64, eps float64, t int) (float64, error) {
 	}
 	// Sort the distinct utilities descending; each threshold θ strictly
 	// below umax induces c = 1 - θ/umax and k = #{u_i > θ}.
-	sorted := append([]float64(nil), u...)
+	sorted := append([]float64(nil), val...)
 	slices.SortFunc(sorted, func(a, b float64) int { return cmp.Compare(b, a) })
 	best := 1.0
 	k := 0
-	for idx := 0; idx < n; idx++ {
+	for idx := 0; idx < len(sorted); idx++ {
 		theta := sorted[idx]
-		// k counts entries strictly above theta.
-		for k < n && sorted[k] > theta {
+		// k counts entries strictly above theta (implicit zeros never are).
+		for k < len(sorted) && sorted[k] > theta {
 			k++
 		}
 		if k == 0 || k >= n {
@@ -114,18 +132,12 @@ func TightestAccuracyBound(u []float64, eps float64, t int) (float64, error) {
 			best = b
 		}
 		// Skip duplicates of this threshold.
-		for idx+1 < n && sorted[idx+1] == theta {
+		for idx+1 < len(sorted) && sorted[idx+1] == theta {
 			idx++
 		}
 	}
 	// Also probe c -> 1 (θ -> 0): every positive-utility node is "high".
-	kpos := 0
-	for _, x := range sorted {
-		if x > 0 {
-			kpos++
-		}
-	}
-	if kpos > 0 && kpos < n {
+	if kpos := len(sorted); kpos > 0 && kpos < n {
 		for _, c := range []float64{0.999, 0.99} {
 			if b, err := Corollary1Accuracy(n, kpos, c, eps, t); err == nil && b < best {
 				best = b

@@ -77,6 +77,39 @@ func (l Laplace) Quantile(p float64) float64 {
 	return l.Loc - l.Scale*math.Log(2*(1-p))
 }
 
+// QuantileLog returns the quantile at probability p = e^{logP}, computed
+// from the log-probability so that p arbitrarily close to 1 (logP → 0⁻)
+// keeps full precision — Quantile(p) would round 1-p to zero there. It is
+// the building block for sampling extreme order statistics.
+func (l Laplace) QuantileLog(logP float64) float64 {
+	if !(logP < 0) {
+		panic("distribution: Laplace QuantileLog requires logP < 0")
+	}
+	const ln2 = math.Ln2
+	if logP <= -ln2 { // p <= 1/2
+		return l.Loc + l.Scale*(ln2+logP)
+	}
+	// p > 1/2: 1-p = -expm1(logP), computed without cancellation.
+	return l.Loc - l.Scale*(ln2+math.Log(-math.Expm1(logP)))
+}
+
+// SampleMax draws the maximum of m independent Laplace variates with a
+// single uniform draw: if U ~ Uniform(0,1) then U^{1/m} is distributed as
+// the largest of m uniforms, and pushing it through the quantile function
+// gives the largest of m Laplace draws. This is the closed-form "zero tail"
+// used by the sparse noisy-max mechanisms: the tail's m zero-utility
+// candidates need one sample, not m.
+func (l Laplace) SampleMax(m int, rng *rand.Rand) float64 {
+	if m < 1 {
+		panic("distribution: Laplace SampleMax requires m >= 1")
+	}
+	u := rng.Float64()
+	if u == 0 {
+		u = math.Nextafter(0, 1) // probability-zero edge; keep Log finite
+	}
+	return l.QuantileLog(math.Log(u) / float64(m))
+}
+
 // Mean returns the distribution mean (the location parameter).
 func (l Laplace) Mean() float64 { return l.Loc }
 

@@ -2,6 +2,7 @@ package distribution
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -345,4 +346,67 @@ func TestSplitRNGStreamsIndependent(t *testing.T) {
 	if same > 2 {
 		t.Errorf("streams overlap: %d/20 identical draws", same)
 	}
+}
+
+func TestLaplaceQuantileLogMatchesQuantile(t *testing.T) {
+	l := Laplace{Loc: 0.5, Scale: 2}
+	for _, p := range []float64{1e-9, 0.01, 0.3, 0.5, 0.7, 0.99, 1 - 1e-9} {
+		got := l.QuantileLog(math.Log(p))
+		want := l.Quantile(p)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("QuantileLog(log %g) = %g, Quantile = %g", p, got, want)
+		}
+	}
+	// Extreme upper tail: Quantile would round 1-p to 0; QuantileLog must
+	// stay finite and increasing.
+	a := l.QuantileLog(-1e-14)
+	b := l.QuantileLog(-1e-16)
+	if math.IsInf(a, 0) || math.IsInf(b, 0) || b <= a {
+		t.Errorf("extreme-tail quantiles not finite/increasing: %g, %g", a, b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("QuantileLog(0) did not panic")
+		}
+	}()
+	l.QuantileLog(0)
+}
+
+// TestLaplaceSampleMaxMatchesBruteForce compares the closed-form max-of-m
+// sample (one inverse-CDF draw through the m-th power of the uniform law)
+// against the brute-force maximum of m independent samples, at several
+// empirical quantiles.
+func TestLaplaceSampleMaxMatchesBruteForce(t *testing.T) {
+	l := Laplace{Loc: 0, Scale: 1.5}
+	const m = 9
+	const n = 100000
+	rng := NewRNG(11)
+	direct := make([]float64, n)
+	for i := range direct {
+		direct[i] = l.SampleMax(m, rng)
+	}
+	brute := make([]float64, n)
+	for i := range brute {
+		max := math.Inf(-1)
+		for j := 0; j < m; j++ {
+			if x := l.Sample(rng); x > max {
+				max = x
+			}
+		}
+		brute[i] = max
+	}
+	sort.Float64s(direct)
+	sort.Float64s(brute)
+	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+		i := int(q * n)
+		if math.Abs(direct[i]-brute[i]) > 0.05 {
+			t.Errorf("max-of-%d quantile %g: closed form %g vs brute force %g", m, q, direct[i], brute[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SampleMax(0) did not panic")
+		}
+	}()
+	l.SampleMax(0, rng)
 }

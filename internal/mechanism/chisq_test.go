@@ -17,10 +17,16 @@ import (
 // chi2Critical999 maps degrees of freedom to the chi-squared critical value
 // at alpha = 1e-3.
 var chi2Critical999 = map[int]float64{
-	3: 16.266,
-	4: 18.467,
-	5: 20.515,
-	7: 24.322,
+	1:  10.828,
+	2:  13.816,
+	3:  16.266,
+	4:  18.467,
+	5:  20.515,
+	6:  22.458,
+	7:  24.322,
+	8:  26.124,
+	9:  27.877,
+	10: 29.588,
 }
 
 func chiSquared(t *testing.T, counts []int, probs []float64, trials int) float64 {

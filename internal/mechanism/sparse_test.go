@@ -1,0 +1,611 @@
+package mechanism
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Tests for the sparse serving entry points. The load-bearing claims are
+// (1) sparse closed-form probabilities equal the dense ones on the expanded
+// vector, (2) the two-stage sparse exponential draw — support CDF plus
+// closed-form zero tail — follows the dense law (chi-squared GOF, including
+// the all-tail and no-tail boundaries), and (3) with no tail the sparse
+// draw is bit-identical to the dense draw for a fixed seed.
+
+// expandSparse scatters s.Val onto a dense vector of length s.N with the
+// support occupying positions pos (ascending); remaining positions are the
+// zero tail.
+func expandSparse(t *testing.T, s SparseVec, pos []int) []float64 {
+	t.Helper()
+	if len(pos) != len(s.Val) {
+		t.Fatalf("expandSparse: %d positions for %d values", len(pos), len(s.Val))
+	}
+	u := make([]float64, s.N)
+	for i, p := range pos {
+		if i > 0 && p <= pos[i-1] {
+			t.Fatalf("expandSparse: positions not ascending: %v", pos)
+		}
+		u[p] = s.Val[i]
+	}
+	return u
+}
+
+// denseIndex maps a sparse Pick back to the dense index of the expanded
+// vector.
+func denseIndex(s SparseVec, pos []int, p Pick) int {
+	if !p.IsTail() {
+		return pos[p.Support]
+	}
+	// The p.Tail-th dense position that is not in pos.
+	rank := p.Tail
+	for _, q := range pos {
+		if q <= rank {
+			rank++
+		}
+	}
+	return rank
+}
+
+// sparseCase is one (sparse vector, dense expansion) fixture.
+type sparseCase struct {
+	name string
+	s    SparseVec
+	pos  []int
+}
+
+func sparseCases() []sparseCase {
+	return []sparseCase{
+		{"large-tail", SparseVec{Val: []float64{3, 1, 2}, N: 403}, []int{5, 17, 300}},
+		{"small-mixed", SparseVec{Val: []float64{1, 4, 2, 2}, N: 9}, []int{0, 3, 4, 8}},
+		{"single-nonzero-all-tail", SparseVec{Val: []float64{5}, N: 50}, []int{13}},
+		{"no-tail", SparseVec{Val: []float64{0, 1, 2, 3, 5}, N: 5}, []int{0, 1, 2, 3, 4}},
+	}
+}
+
+func TestSparseProbabilitiesMatchDense(t *testing.T) {
+	mechs := []struct {
+		name   string
+		dense  Distribution
+		sparse SparseDistribution
+		exact  bool
+	}{
+		{"exponential", Exponential{Epsilon: 1, Sensitivity: 2}, Exponential{Epsilon: 1, Sensitivity: 2}, false},
+		{"gumbel-max", GumbelMax{Epsilon: 0.5, Sensitivity: 2}, GumbelMax{Epsilon: 0.5, Sensitivity: 2}, false},
+		{"best", Best{}, Best{}, true},
+		{"uniform", Uniform{}, Uniform{}, true},
+		{"smoothing", Smoothing{X: 0.7, Base: Best{}}, Smoothing{X: 0.7, Base: Best{}}, true},
+	}
+	for _, tc := range sparseCases() {
+		u := expandSparse(t, tc.s, tc.pos)
+		for _, m := range mechs {
+			dense, err := m.dense.Probabilities(u)
+			if err != nil {
+				t.Fatalf("%s/%s dense: %v", tc.name, m.name, err)
+			}
+			support, tailEach, err := m.sparse.ProbabilitiesSparse(tc.s)
+			if err != nil {
+				t.Fatalf("%s/%s sparse: %v", tc.name, m.name, err)
+			}
+			check := func(got, want float64, where string, idx int) {
+				diff := math.Abs(got - want)
+				tol := 0.0
+				if !m.exact {
+					tol = 1e-13 * (want + 1)
+				}
+				if diff > tol {
+					t.Errorf("%s/%s: %s %d: sparse %v vs dense %v", tc.name, m.name, where, idx, got, want)
+				}
+			}
+			for i, p := range tc.pos {
+				check(support[i], dense[p], "support", i)
+			}
+			rank := 0
+			for d := 0; d < tc.s.N; d++ {
+				isSupport := false
+				for _, p := range tc.pos {
+					if p == d {
+						isSupport = true
+						break
+					}
+				}
+				if isSupport {
+					continue
+				}
+				check(tailEach, dense[d], "tail", rank)
+				rank++
+			}
+			// Total mass 1.
+			total := float64(tc.s.tail()) * tailEach
+			for _, p := range support {
+				total += p
+			}
+			if math.Abs(total-1) > 1e-12 {
+				t.Errorf("%s/%s: sparse mass %v != 1", tc.name, m.name, total)
+			}
+		}
+	}
+}
+
+func TestExpectedAccuracySparseMatchesDense(t *testing.T) {
+	e := Exponential{Epsilon: 1, Sensitivity: 2}
+	sm := Smoothing{X: 0.6, Base: Best{}}
+	for _, tc := range sparseCases() {
+		if tc.s.max() == 0 {
+			continue
+		}
+		u := expandSparse(t, tc.s, tc.pos)
+		for name, pair := range map[string][2]any{
+			"exponential": {e, e},
+			"smoothing":   {sm, sm},
+			"best":        {Best{}, Best{}},
+		} {
+			denseAcc, err := ExpectedAccuracy(pair[0].(Distribution), u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sparseAcc, err := ExpectedAccuracySparse(pair[1].(SparseDistribution), tc.s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(denseAcc-sparseAcc) > 1e-12 {
+				t.Errorf("%s/%s: accuracy sparse %v vs dense %v", tc.name, name, sparseAcc, denseAcc)
+			}
+		}
+	}
+}
+
+// TestSparseExponentialTwoStageGOF is the zero-tail chi-squared test: the
+// two-stage sparse draw (support-vs-tail mass split, then binary-searched
+// support CDF or uniform tail rank) must follow the dense closed-form law.
+// Cells are the individual support entries plus the tail aggregated; the
+// all-tail (single nonzero, umax > 0) and no-tail boundaries are included.
+// Both the direct RecommendSparse path and the cached SampleSparseCDF path
+// are checked.
+func TestSparseExponentialTwoStageGOF(t *testing.T) {
+	const trials = 200000
+	e := Exponential{Epsilon: 1, Sensitivity: 1}
+	for _, tc := range sparseCases() {
+		u := expandSparse(t, tc.s, tc.pos)
+		probs, err := e.Probabilities(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Expected masses: one cell per support entry, one for the tail.
+		expected := make([]float64, len(tc.s.Val)+1)
+		for i, p := range tc.pos {
+			expected[i] = probs[p]
+		}
+		ptail := 1.0
+		for _, p := range expected[:len(tc.s.Val)] {
+			ptail -= p
+		}
+		expected[len(tc.s.Val)] = ptail
+		cells := len(expected)
+		if tc.s.tail() == 0 {
+			cells-- // no tail cell to count
+		}
+		cdf, err := e.SparseCDF(tc.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, path := range []struct {
+			name string
+			draw func(rng *rand.Rand) Pick
+		}{
+			{"direct", func(rng *rand.Rand) Pick {
+				p, err := e.RecommendSparse(tc.s, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			}},
+			{"cached-cdf", func(rng *rand.Rand) Pick { return SampleSparseCDF(cdf, rng) }},
+		} {
+			rng := rand.New(rand.NewSource(42))
+			counts := make([]int, cells)
+			for i := 0; i < trials; i++ {
+				p := path.draw(rng)
+				if p.IsTail() {
+					if tc.s.tail() == 0 {
+						t.Fatalf("%s/%s: tail pick from tail-less vector", tc.name, path.name)
+					}
+					if p.Tail < 0 || p.Tail >= tc.s.tail() {
+						t.Fatalf("%s/%s: tail rank %d outside [0,%d)", tc.name, path.name, p.Tail, tc.s.tail())
+					}
+					counts[len(tc.s.Val)]++
+				} else {
+					counts[p.Support]++
+				}
+			}
+			stat := chiSquared(t, counts, expected[:cells], trials)
+			crit, ok := chi2Critical999[cells-1]
+			if !ok {
+				t.Fatalf("no critical value for df=%d", cells-1)
+			}
+			if stat > crit {
+				t.Fatalf("%s/%s: chi-squared %.3f exceeds %.3f (df=%d): two-stage draw off the exponential law\ncounts: %v\nexpected: %v",
+					tc.name, path.name, stat, crit, cells-1, counts, expected)
+			}
+		}
+	}
+}
+
+// TestSparseExponentialTailRankUniform checks the second stage of the
+// two-stage draw: conditioned on hitting the tail, the rank must be uniform
+// over the zero-utility candidates.
+func TestSparseExponentialTailRankUniform(t *testing.T) {
+	s := SparseVec{Val: []float64{2, 1}, N: 402} // 400 tail candidates
+	e := Exponential{Epsilon: 1, Sensitivity: 1}
+	const bins = 8
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, bins)
+	tails := 0
+	for i := 0; i < 400000 && tails < 120000; i++ {
+		p, err := e.RecommendSparse(s, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.IsTail() {
+			counts[p.Tail*bins/s.tail()]++
+			tails++
+		}
+	}
+	if tails < 40000 {
+		t.Fatalf("only %d tail draws; fixture no longer tail-heavy", tails)
+	}
+	probs := make([]float64, bins)
+	for i := range probs {
+		probs[i] = 1.0 / bins
+	}
+	stat := chiSquared(t, counts, probs, tails)
+	if crit := chi2Critical999[bins-1]; stat > crit {
+		t.Fatalf("tail ranks not uniform: chi-squared %.3f > %.3f\ncounts: %v", stat, crit, counts)
+	}
+}
+
+// TestSparseNoTailBitIdentical pins the exact-equivalence boundary: when
+// every candidate is in the support, the sparse draw consumes the same
+// single uniform and inverts the same CDF as the dense draw, so a fixed
+// seed yields identical picks.
+func TestSparseNoTailBitIdentical(t *testing.T) {
+	u := []float64{0, 1, 2, 3, 5, 2.5, 0.25}
+	s := SparseVec{Val: u, N: len(u)}
+	e := Exponential{Epsilon: 1.3, Sensitivity: 2}
+	denseRNG := rand.New(rand.NewSource(99))
+	sparseRNG := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		d, err := e.Recommend(u, denseRNG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := e.RecommendSparse(s, sparseRNG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.IsTail() || p.Support != d {
+			t.Fatalf("draw %d: dense %d vs sparse %+v", i, d, p)
+		}
+	}
+	// Cached path: SampleSparseCDF vs SampleCDF.
+	cdf, err := e.CDF(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scdf, err := e.SparseCDF(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denseRNG = rand.New(rand.NewSource(3))
+	sparseRNG = rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		d := SampleCDF(cdf, denseRNG)
+		p := SampleSparseCDF(scdf, sparseRNG)
+		if p.IsTail() || p.Support != d {
+			t.Fatalf("cached draw %d: dense %d vs sparse %+v", i, d, p)
+		}
+	}
+}
+
+// chiSquaredTwoSample compares two equally-sized empirical samples; under
+// the null (same distribution) the statistic is chi-squared with cells-1
+// degrees of freedom. Used for mechanisms without a closed dense form
+// (Laplace noisy-max).
+func chiSquaredTwoSample(t *testing.T, a, b []int) float64 {
+	t.Helper()
+	stat := 0.0
+	for i := range a {
+		n := float64(a[i] + b[i])
+		if n < 10 {
+			t.Fatalf("cell %d has only %0.f samples; pick a larger trial count", i, n)
+		}
+		d := float64(a[i] - b[i])
+		stat += d * d / n
+	}
+	return stat
+}
+
+// TestLaplaceSparseMatchesDenseEmpirically: the sparse noisy-max (support
+// noise + closed-form max of the m-variate zero tail) must match the dense
+// noisy argmax in distribution. Laplace has no closed form for n > 2, so
+// this is a seeded two-sample chi-squared.
+func TestLaplaceSparseMatchesDenseEmpirically(t *testing.T) {
+	s := SparseVec{Val: []float64{2, 1, 1}, N: 40}
+	pos := []int{4, 20, 33}
+	u := expandSparse(t, s, pos)
+	l := Laplace{Epsilon: 1, Sensitivity: 1}
+	const trials = 150000
+	cells := len(s.Val) + 1
+	dense := make([]int, cells)
+	sparse := make([]int, cells)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < trials; i++ {
+		d, err := l.Recommend(u, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cell := cells - 1
+		for si, p := range pos {
+			if p == d {
+				cell = si
+				break
+			}
+		}
+		dense[cell]++
+	}
+	rng = rand.New(rand.NewSource(17))
+	for i := 0; i < trials; i++ {
+		p, err := l.RecommendSparse(s, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.IsTail() {
+			if p.Tail < 0 || p.Tail >= s.tail() {
+				t.Fatalf("tail rank %d outside [0,%d)", p.Tail, s.tail())
+			}
+			sparse[cells-1]++
+		} else {
+			sparse[p.Support]++
+		}
+	}
+	stat := chiSquaredTwoSample(t, dense, sparse)
+	if crit := chi2Critical999[cells-1]; stat > crit {
+		t.Fatalf("sparse Laplace diverges from dense: chi-squared %.3f > %.3f\ndense:  %v\nsparse: %v",
+			stat, crit, dense, sparse)
+	}
+}
+
+// TestGumbelMaxSparseGOF: the sparse Gumbel-max draw (tail max = ln m +
+// Gumbel) must follow the exponential-mechanism law it implements.
+func TestGumbelMaxSparseGOF(t *testing.T) {
+	s := SparseVec{Val: []float64{3, 1}, N: 60}
+	pos := []int{10, 40}
+	u := expandSparse(t, s, pos)
+	g := GumbelMax{Epsilon: 1, Sensitivity: 1}
+	probs, err := g.Probabilities(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := []float64{probs[pos[0]], probs[pos[1]], 1 - probs[pos[0]] - probs[pos[1]]}
+	const trials = 150000
+	counts := make([]int, 3)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < trials; i++ {
+		p, err := g.RecommendSparse(s, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.IsTail() {
+			counts[2]++
+		} else {
+			counts[p.Support]++
+		}
+	}
+	stat := chiSquared(t, counts, expected, trials)
+	if crit := chi2Critical999[2]; stat > crit {
+		t.Fatalf("sparse Gumbel-max off the exponential law: chi-squared %.3f > %.3f\ncounts: %v expected: %v",
+			stat, crit, counts, expected)
+	}
+}
+
+// TestSmoothingAndBestSparseDraws: GOF of the smoothing coin + uniform arm,
+// and Best's argmax/tie behavior, against the closed sparse form.
+func TestSmoothingAndBestSparseDraws(t *testing.T) {
+	s := SparseVec{Val: []float64{2, 2, 1}, N: 30}
+	const trials = 120000
+	for _, m := range []interface {
+		SparseMechanism
+		SparseDistribution
+	}{
+		Smoothing{X: 0.55, Base: Best{}},
+		Best{},
+	} {
+		support, tailEach, err := m.ProbabilitiesSparse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected := append(append([]float64{}, support...), tailEach*float64(s.tail()))
+		counts := make([]int, len(expected))
+		rng := rand.New(rand.NewSource(31))
+		for i := 0; i < trials; i++ {
+			p, err := m.RecommendSparse(s, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.IsTail() {
+				counts[len(counts)-1]++
+			} else {
+				counts[p.Support]++
+			}
+		}
+		// Zero-probability cells (Best never picks the tail or a non-max
+		// support entry) must be empty and are excluded from the statistic.
+		var liveCounts []int
+		var liveProbs []float64
+		for i, p := range expected {
+			if p == 0 {
+				if counts[i] != 0 {
+					t.Fatalf("%s: %d draws landed in zero-probability cell %d", m.Name(), counts[i], i)
+				}
+				continue
+			}
+			liveCounts = append(liveCounts, counts[i])
+			liveProbs = append(liveProbs, p)
+		}
+		stat := chiSquared(t, liveCounts, liveProbs, trials)
+		if crit := chi2Critical999[len(liveProbs)-1]; stat > crit {
+			t.Fatalf("%s sparse draws off closed form: chi-squared %.3f > %.3f\ncounts: %v expected: %v",
+				m.Name(), stat, crit, counts, expected)
+		}
+	}
+}
+
+// TestTopKSparseStructure checks sparse top-k invariants: k picks, all
+// distinct (support indices and tail ranks), ranks within the tail.
+func TestTopKSparseStructure(t *testing.T) {
+	s := SparseVec{Val: []float64{5, 3, 1}, N: 12}
+	rng := rand.New(rand.NewSource(2))
+	for k := 1; k <= s.N; k++ {
+		for name, run := range map[string]func() ([]Pick, error){
+			"laplace": func() ([]Pick, error) { return TopKLaplaceSparse(1, 1, s, k, rng) },
+			"peel":    func() ([]Pick, error) { return TopKPeelSparse(1, 1, s, k, rng) },
+		} {
+			picks, err := run()
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", name, k, err)
+			}
+			if len(picks) != k {
+				t.Fatalf("%s k=%d: got %d picks", name, k, len(picks))
+			}
+			seenSupport := map[int]bool{}
+			seenTail := map[int]bool{}
+			for _, p := range picks {
+				if p.IsTail() {
+					if p.Tail < 0 || p.Tail >= s.tail() {
+						t.Fatalf("%s k=%d: tail rank %d outside tail", name, k, p.Tail)
+					}
+					if seenTail[p.Tail] {
+						t.Fatalf("%s k=%d: duplicate tail rank %d", name, k, p.Tail)
+					}
+					seenTail[p.Tail] = true
+				} else {
+					if p.Support < 0 || p.Support >= len(s.Val) {
+						t.Fatalf("%s k=%d: support index %d out of range", name, k, p.Support)
+					}
+					if seenSupport[p.Support] {
+						t.Fatalf("%s k=%d: duplicate support index %d", name, k, p.Support)
+					}
+					seenSupport[p.Support] = true
+				}
+			}
+		}
+	}
+	if _, err := TopKLaplaceSparse(1, 1, s, 0, rng); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := TopKPeelSparse(1, 1, s, s.N+1, rng); err == nil {
+		t.Error("k>N accepted")
+	}
+}
+
+// TestTopKSparseFirstPickMatchesDense: the marginal law of the first
+// element of the released set must match the dense implementation
+// (two-sample chi-squared; full-set laws then agree by the shared
+// sequential construction).
+func TestTopKSparseFirstPickMatchesDense(t *testing.T) {
+	s := SparseVec{Val: []float64{4, 2}, N: 25}
+	pos := []int{3, 11}
+	u := expandSparse(t, s, pos)
+	const trials = 60000
+	const k = 3
+	for name, pair := range map[string]struct {
+		dense  func(rng *rand.Rand) (int, error)
+		sparse func(rng *rand.Rand) (Pick, error)
+	}{
+		"laplace": {
+			dense: func(rng *rand.Rand) (int, error) {
+				idx, err := TopKLaplace(1, 1, u, k, rng)
+				if err != nil {
+					return 0, err
+				}
+				return idx[0], nil
+			},
+			sparse: func(rng *rand.Rand) (Pick, error) {
+				picks, err := TopKLaplaceSparse(1, 1, s, k, rng)
+				if err != nil {
+					return Pick{}, err
+				}
+				return picks[0], nil
+			},
+		},
+		"peel": {
+			dense: func(rng *rand.Rand) (int, error) {
+				idx, err := TopKPeel(1, 1, u, k, rng)
+				if err != nil {
+					return 0, err
+				}
+				return idx[0], nil
+			},
+			sparse: func(rng *rand.Rand) (Pick, error) {
+				picks, err := TopKPeelSparse(1, 1, s, k, rng)
+				if err != nil {
+					return Pick{}, err
+				}
+				return picks[0], nil
+			},
+		},
+	} {
+		cells := len(s.Val) + 1
+		dense := make([]int, cells)
+		sparse := make([]int, cells)
+		rng := rand.New(rand.NewSource(13))
+		for i := 0; i < trials; i++ {
+			d, err := pair.dense(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cell := cells - 1
+			for si, p := range pos {
+				if p == d {
+					cell = si
+					break
+				}
+			}
+			dense[cell]++
+		}
+		rng = rand.New(rand.NewSource(29))
+		for i := 0; i < trials; i++ {
+			p, err := pair.sparse(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.IsTail() {
+				sparse[cells-1]++
+			} else {
+				sparse[p.Support]++
+			}
+		}
+		stat := chiSquaredTwoSample(t, dense, sparse)
+		if crit := chi2Critical999[cells-1]; stat > crit {
+			t.Fatalf("%s: sparse top-k first pick diverges: chi-squared %.3f > %.3f\ndense:  %v\nsparse: %v",
+				name, stat, crit, dense, sparse)
+		}
+	}
+}
+
+func TestSparseValidation(t *testing.T) {
+	e := Exponential{Epsilon: 1, Sensitivity: 1}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := e.RecommendSparse(SparseVec{N: 0}, rng); err == nil {
+		t.Error("empty sparse vector accepted")
+	}
+	if _, err := e.RecommendSparse(SparseVec{Val: []float64{1, 2}, N: 1}, rng); err == nil {
+		t.Error("oversized support accepted")
+	}
+	if _, err := e.RecommendSparse(SparseVec{Val: []float64{-1}, N: 4}, rng); err == nil {
+		t.Error("negative utility accepted")
+	}
+	if _, err := (Exponential{Epsilon: 0, Sensitivity: 1}).RecommendSparse(SparseVec{Val: []float64{1}, N: 2}, rng); err == nil {
+		t.Error("zero epsilon accepted")
+	}
+}

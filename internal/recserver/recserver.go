@@ -48,6 +48,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 
 	"socialrec"
@@ -72,6 +73,13 @@ type Config struct {
 	// Server — this size is ignored. See the package comment for why
 	// caching is DP-safe.
 	CacheSize int
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof so
+	// hot-path regressions (serving latency, allocation spikes) are
+	// diagnosable against a production process. Default off: profiles
+	// expose process internals (never raw graph data, but goroutine stacks
+	// and heap shapes), so enable only behind operator authentication —
+	// like /audit and the write endpoints.
+	EnablePprof bool
 	// Logf receives request logs; nil means log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -127,6 +135,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	for _, p := range []string{"/nodes", "/v1/nodes"} {
 		mux.HandleFunc("POST "+p, s.handleAddNode)
+	}
+	if cfg.EnablePprof {
+		// Explicit registrations rather than the package's init-time
+		// DefaultServeMux side effects, which this mux never serves.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	s.routes = mux
 	return s, nil

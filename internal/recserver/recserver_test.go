@@ -313,3 +313,29 @@ func TestConcurrentCachedServer(t *testing.T) {
 		t.Fatal(msg)
 	}
 }
+
+func TestPprofGatedByConfig(t *testing.T) {
+	g, err := socialrec.GenerateSocialGraph(50, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := socialrec.NewRecommender(g, socialrec.WithEpsilon(1), socialrec.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, enabled := range []bool{false, true} {
+		srv, err := New(Config{Recommender: rec, TotalEpsilon: 10, EnablePprof: enabled, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil)
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if enabled && w.Code != http.StatusOK {
+			t.Errorf("pprof enabled: GET /debug/pprof/ = %d, want 200", w.Code)
+		}
+		if !enabled && w.Code != http.StatusNotFound {
+			t.Errorf("pprof disabled (default): GET /debug/pprof/ = %d, want 404", w.Code)
+		}
+	}
+}

@@ -11,18 +11,27 @@ type CommonNeighbors struct{}
 // Name implements Function.
 func (CommonNeighbors) Name() string { return "common-neighbors" }
 
-// Vector implements Function.
-func (CommonNeighbors) Vector(v View, r int) ([]float64, error) {
+// Sparse implements Function by walking the two-hop out-neighborhood of r:
+// every node with a nonzero count is reachable in exactly two out-steps, so
+// the kernel costs O(Σ_{a∈out(r)} d_a), independent of n.
+func (CommonNeighbors) Sparse(v View, r int) ([]int32, []float64, error) {
 	if r < 0 || r >= v.NumNodes() {
-		return nil, fmt.Errorf("%w: %d", ErrTarget, r)
+		return nil, nil, fmt.Errorf("%w: %d", ErrTarget, r)
 	}
-	counts := v.CommonNeighborsFrom(r)
-	vec := make([]float64, len(counts))
-	for i, c := range counts {
-		vec[i] = float64(c)
+	s := getSparseScratch()
+	defer putSparseScratch(s)
+	twoHopWalk(v, r, s)
+	idx, val := collectSparse(v, r, &s.a)
+	return idx, val, nil
+}
+
+// Vector implements Function as a dense scatter of Sparse.
+func (cn CommonNeighbors) Vector(v View, r int) ([]float64, error) {
+	idx, val, err := cn.Sparse(v, r)
+	if err != nil {
+		return nil, err
 	}
-	maskExisting(v, r, vec)
-	return vec, nil
+	return Scatter(v.NumNodes(), idx, val), nil
 }
 
 // Sensitivity implements Function. Adding or removing one edge (x, y) not

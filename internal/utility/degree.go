@@ -14,17 +14,39 @@ type Degree struct{}
 // Name implements Function.
 func (Degree) Name() string { return "degree" }
 
-// Vector implements Function.
-func (Degree) Vector(v View, r int) ([]float64, error) {
-	if r < 0 || r >= v.NumNodes() {
-		return nil, fmt.Errorf("%w: %d", ErrTarget, r)
+// Sparse implements Function. Degree is the one utility whose support is
+// inherently global (every non-isolated candidate scores), so the kernel is
+// an O(n) degree scan — but it allocates only the support and needs no
+// length-n scratch, using the pooled exclusion bitset for the candidate
+// check.
+func (Degree) Sparse(v View, r int) ([]int32, []float64, error) {
+	n := v.NumNodes()
+	if r < 0 || r >= n {
+		return nil, nil, fmt.Errorf("%w: %d", ErrTarget, r)
 	}
-	vec := make([]float64, v.NumNodes())
-	for i := range vec {
-		vec[i] = float64(v.OutDegree(i))
+	excluded := getExclusions(v, r)
+	defer putExclusions(excluded)
+	idx := make([]int32, 0, n)
+	val := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if excluded.has(i) {
+			continue
+		}
+		if d := v.OutDegree(i); d > 0 {
+			idx = append(idx, int32(i))
+			val = append(val, float64(d))
+		}
 	}
-	maskExisting(v, r, vec)
-	return vec, nil
+	return idx, val, nil
+}
+
+// Vector implements Function as a dense scatter of Sparse.
+func (d Degree) Vector(v View, r int) ([]float64, error) {
+	idx, val, err := d.Sparse(v, r)
+	if err != nil {
+		return nil, err
+	}
+	return Scatter(v.NumNodes(), idx, val), nil
 }
 
 // Sensitivity implements Function: one edge changes the out-degree of at

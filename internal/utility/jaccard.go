@@ -16,27 +16,45 @@ type Jaccard struct{}
 // Name implements Function.
 func (Jaccard) Name() string { return "jaccard" }
 
-// Vector implements Function.
-func (Jaccard) Vector(v View, r int) ([]float64, error) {
+// Sparse implements Function: the support is exactly the nonzero-
+// intersection set of the CommonNeighbors walk, and each score is a
+// per-entry normalization, so the kernel shares its two-hop cost.
+func (Jaccard) Sparse(v View, r int) ([]int32, []float64, error) {
 	if r < 0 || r >= v.NumNodes() {
-		return nil, fmt.Errorf("%w: %d", ErrTarget, r)
+		return nil, nil, fmt.Errorf("%w: %d", ErrTarget, r)
 	}
-	inter := v.CommonNeighborsFrom(r)
+	s := getSparseScratch()
+	defer putSparseScratch(s)
+	twoHopWalk(v, r, s)
 	dr := v.OutDegree(r)
-	vec := make([]float64, v.NumNodes())
-	for i, c := range inter {
+	s.a.zero(int32(r))
+	v.ForEachOutNeighbor(r, func(u int) { s.a.zero(int32(u)) })
+	touched := s.a.ascending(v.NumNodes())
+	idx := make([]int32, 0, len(touched))
+	val := make([]float64, 0, len(touched))
+	for _, i := range touched {
+		c := s.a.val[i]
 		if c == 0 {
 			continue
 		}
 		// The intersection is out(r) ∩ in(i), so the union pairs out(r)
 		// with in(i) — identical sets to the CommonNeighbors convention.
-		union := dr + v.InDegree(i) - c
+		union := dr + v.InDegree(int(i)) - int(c)
 		if union > 0 {
-			vec[i] = float64(c) / float64(union)
+			idx = append(idx, i)
+			val = append(val, c/float64(union))
 		}
 	}
-	maskExisting(v, r, vec)
-	return vec, nil
+	return idx, val, nil
+}
+
+// Vector implements Function as a dense scatter of Sparse.
+func (j Jaccard) Vector(v View, r int) ([]float64, error) {
+	idx, val, err := j.Sparse(v, r)
+	if err != nil {
+		return nil, err
+	}
+	return Scatter(v.NumNodes(), idx, val), nil
 }
 
 // Sensitivity implements Function. Flipping one edge (x, y) not incident to

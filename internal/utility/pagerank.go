@@ -45,49 +45,89 @@ func (p PageRank) tolerance() float64 {
 	return p.Tolerance
 }
 
-// Vector implements Function.
-func (p PageRank) Vector(v View, r int) ([]float64, error) {
+// Sparse implements Function with a frontier-propagating power iteration:
+// each sweep redistributes only the nodes currently holding mass, so early
+// iterations cost the size of the growing reachable set rather than n.
+// Frontiers are swept in ascending node order and the convergence delta is
+// accumulated over the merged frontier, making every float — and the
+// iteration count — bit-identical to the dense power iteration.
+func (p PageRank) Sparse(v View, r int) ([]int32, []float64, error) {
 	if r < 0 || r >= v.NumNodes() {
-		return nil, fmt.Errorf("%w: %d", ErrTarget, r)
+		return nil, nil, fmt.Errorf("%w: %d", ErrTarget, r)
 	}
 	alpha := p.alpha()
 	if !(alpha > 0 && alpha < 1) {
-		return nil, fmt.Errorf("utility: pagerank alpha %g outside (0,1)", alpha)
+		return nil, nil, fmt.Errorf("utility: pagerank alpha %g outside (0,1)", alpha)
 	}
 	n := v.NumNodes()
-	cur := make([]float64, n)
-	next := make([]float64, n)
-	cur[r] = 1
+	s := getSparseScratch()
+	defer putSparseScratch(s)
+	s.a.grow(n)
+	s.b.grow(n)
+	cur, next := &s.a, &s.b
+	cur.add(int32(r), 1)
 	for iter := 0; iter < p.iterations(); iter++ {
-		for i := range next {
-			next[i] = 0
-		}
-		next[r] = alpha
+		next.add(int32(r), alpha)
 		var dangling float64
-		for i, mass := range cur {
+		for _, i := range cur.ascending(n) {
+			mass := cur.val[i]
 			if mass == 0 {
 				continue
 			}
-			d := v.OutDegree(i)
+			d := v.OutDegree(int(i))
 			if d == 0 {
 				dangling += mass // dangling mass restarts at the root
 				continue
 			}
 			share := (1 - alpha) * mass / float64(d)
-			v.ForEachOutNeighbor(i, func(u int) { next[u] += share })
+			for _, u := range outRow(v, int(i), &s.rowA) {
+				next.add(u, share)
+			}
 		}
-		next[r] += (1 - alpha) * dangling
-		var delta float64
-		for i := range next {
-			delta += math.Abs(next[i] - cur[i])
-		}
+		next.add(int32(r), (1-alpha)*dangling)
+		next.ascending(n)
+		delta := mergedAbsDiff(cur, next)
+		cur.reset()
 		cur, next = next, cur
 		if delta < p.tolerance() {
 			break
 		}
 	}
-	maskExisting(v, r, cur)
-	return cur, nil
+	idx, val := collectSparse(v, r, cur)
+	return idx, val, nil
+}
+
+// mergedAbsDiff returns Σ |a[i] - b[i]| over the union of the two sorted
+// touched sets, in ascending index order — the same accumulation order (and
+// therefore the same float result) as a dense scan, whose untouched entries
+// contribute exact zeros.
+func mergedAbsDiff(a, b *accumulator) float64 {
+	var delta float64
+	i, j := 0, 0
+	for i < len(a.touched) || j < len(b.touched) {
+		switch {
+		case j >= len(b.touched) || (i < len(a.touched) && a.touched[i] < b.touched[j]):
+			delta += math.Abs(a.val[a.touched[i]])
+			i++
+		case i >= len(a.touched) || b.touched[j] < a.touched[i]:
+			delta += math.Abs(b.val[b.touched[j]])
+			j++
+		default: // same index
+			delta += math.Abs(b.val[b.touched[j]] - a.val[a.touched[i]])
+			i++
+			j++
+		}
+	}
+	return delta
+}
+
+// Vector implements Function as a dense scatter of Sparse.
+func (p PageRank) Vector(v View, r int) ([]float64, error) {
+	idx, val, err := p.Sparse(v, r)
+	if err != nil {
+		return nil, err
+	}
+	return Scatter(v.NumNodes(), idx, val), nil
 }
 
 // Sensitivity implements Function with the conservative L1 bound

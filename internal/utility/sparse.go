@@ -1,0 +1,261 @@
+package utility
+
+import (
+	"slices"
+	"sync"
+)
+
+// Sparse utility kernels. The paper's link-analysis utilities are zero
+// outside a target's 2-3-hop out-neighborhood, so on sparse graphs the
+// utility vector has a few hundred nonzeros out of n. The kernels here walk
+// the adjacency spans directly and accumulate into pooled scratch, touching
+// only the nonzero support — O(nnz) work and allocation per call instead of
+// the O(n) a dense vector costs. Every kernel accumulates floating-point
+// contributions in the same (ascending-index) order as the dense reference
+// computation, so the nonzero values are bit-identical to the dense
+// vector's; Function.Vector is a thin scatter wrapper over the kernel.
+
+// spanner is the fast-path neighbor access every snapshot store (CSR,
+// Mapped, graph.Store) provides; the mutable *graph.Graph falls back to a
+// sorted copy.
+type spanner interface{ Out(v int) []int32 }
+
+// outRow returns v's out-neighbors ascending as an []int32 span. For
+// snapshot stores the span is returned zero-copy; for map-backed graphs the
+// row is gathered into *buf (grown capacity is written back so the pooled
+// buffer is actually reused) and sorted, because map iteration order is
+// unspecified and the kernels rely on deterministic ascending accumulation.
+func outRow(v View, node int, buf *[]int32) []int32 {
+	if s, ok := v.(spanner); ok {
+		return s.Out(node)
+	}
+	row := (*buf)[:0]
+	v.ForEachOutNeighbor(node, func(u int) { row = append(row, int32(u)) })
+	slices.Sort(row)
+	*buf = row
+	return row
+}
+
+// accumulator is a sparse accumulator (SPA): a dense value array that is
+// all-zero between uses plus the list of indices holding nonzero mass, so
+// clearing costs O(touched) rather than O(n). Kernels that can bound the
+// support in advance and see it is not sparse may instead accumulate into
+// val directly (setting dense), trading the per-add touch tracking for one
+// O(n) scan at collection time.
+type accumulator struct {
+	val     []float64
+	touched []int32
+	// dense marks that accumulation bypassed touched tracking: val alone is
+	// authoritative over [0, n). ascending rebuilds touched from it.
+	dense bool
+	// n is the live prefix of val for the current graph (val may be longer,
+	// pooled from a bigger one).
+	n int
+}
+
+func (a *accumulator) grow(n int) {
+	if len(a.val) < n {
+		a.val = make([]float64, n) // fresh allocation is already zeroed
+	}
+	a.touched = a.touched[:0]
+	a.dense = false
+	a.n = n
+}
+
+// add accumulates x into entry i, tracking first touches. Contributions are
+// non-negative, so an entry never cancels back to zero and the touched list
+// stays duplicate-free.
+func (a *accumulator) add(i int32, x float64) {
+	if a.val[i] == 0 && x != 0 {
+		a.touched = append(a.touched, i)
+	}
+	a.val[i] += x
+}
+
+// zero clears entry i without removing it from the touched list.
+func (a *accumulator) zero(i int32) { a.val[i] = 0 }
+
+// ascending orders the touched list ascending — the accumulation order the
+// dense reference computations use — and returns it. Two strategies produce
+// the identical list: sorting the touched entries when the support is small
+// relative to the n live entries, or rebuilding it with a dense ascending
+// scan once the support is large enough that the O(nnz log nnz) sort would
+// cost more (the scan also drops entries zeroed since touching, which the
+// sort path retains harmlessly).
+func (a *accumulator) ascending(n int) []int32 {
+	if a.dense || 8*len(a.touched) >= n {
+		a.dense = false
+		a.touched = a.touched[:0]
+		for i := 0; i < n; i++ {
+			if a.val[i] != 0 {
+				a.touched = append(a.touched, int32(i))
+			}
+		}
+		return a.touched
+	}
+	slices.Sort(a.touched)
+	return a.touched
+}
+
+// reset zeroes every touched entry, restoring the all-zero invariant.
+func (a *accumulator) reset() {
+	if a.dense {
+		clear(a.val[:a.n])
+		a.dense = false
+	} else {
+		for _, i := range a.touched {
+			a.val[i] = 0
+		}
+	}
+	a.touched = a.touched[:0]
+}
+
+// sparseScratch bundles the accumulators and row buffers one kernel
+// invocation needs; a sync.Pool recycles them so steady-state serving does
+// no length-n allocation. Accumulators are grown by the kernel itself —
+// most kernels use only s.a, and growing all three would triple the pooled
+// scratch memory for nothing.
+type sparseScratch struct {
+	a, b, c    accumulator
+	rowA, rowB []int32
+}
+
+var sparsePool = sync.Pool{New: func() any { return &sparseScratch{} }}
+
+func getSparseScratch() *sparseScratch {
+	return sparsePool.Get().(*sparseScratch)
+}
+
+func putSparseScratch(s *sparseScratch) {
+	s.a.reset()
+	s.b.reset()
+	s.c.reset()
+	sparsePool.Put(s)
+}
+
+// twoHopWalk accumulates the common-neighbor counts of target r into s.a:
+// counts[i] = number of length-2 out-walks r→a→i with i ∉ {r, a}. The
+// two-hop edge count bounds the support up front, so when the result will
+// not be sparse the walk accumulates densely — skipping the per-add touch
+// tracking — and lets ascending() rebuild the index list in one scan;
+// counts are identical either way.
+func twoHopWalk(v View, r int, s *sparseScratch) {
+	s.a.grow(v.NumNodes())
+	row := outRow(v, r, &s.rowA)
+	bound := 0
+	for _, a := range row {
+		bound += v.OutDegree(int(a))
+	}
+	if 4*bound >= v.NumNodes() {
+		s.a.dense = true
+		val := s.a.val
+		for _, a := range row {
+			for _, i := range outRow(v, int(a), &s.rowB) {
+				if int(i) == r || i == a {
+					continue
+				}
+				val[i]++
+			}
+		}
+		return
+	}
+	for _, a := range row {
+		for _, i := range outRow(v, int(a), &s.rowB) {
+			if int(i) == r || i == a {
+				continue
+			}
+			s.a.add(i, 1)
+		}
+	}
+}
+
+// collectSparse masks the candidate-convention exclusions (r itself and r's
+// out-neighbors) in acc and gathers the remaining nonzero entries into
+// caller-owned idx/val slices, ascending by node ID.
+func collectSparse(v View, r int, acc *accumulator) ([]int32, []float64) {
+	acc.zero(int32(r))
+	v.ForEachOutNeighbor(r, func(u int) { acc.zero(int32(u)) })
+	touched := acc.ascending(v.NumNodes())
+	nnz := 0
+	for _, i := range touched {
+		if acc.val[i] != 0 {
+			nnz++
+		}
+	}
+	idx := make([]int32, 0, nnz)
+	val := make([]float64, 0, nnz)
+	for _, i := range touched {
+		if x := acc.val[i]; x != 0 {
+			idx = append(idx, i)
+			val = append(val, x)
+		}
+	}
+	return idx, val
+}
+
+// CandidateCount returns the size of target r's candidate domain: every
+// node except r itself and r's existing out-neighbors. It is the n_cand the
+// sparse serving path pairs with a kernel's nonzero support (the remaining
+// n_cand - nnz candidates implicitly hold utility 0).
+func CandidateCount(v View, r int) int {
+	return v.NumNodes() - 1 - v.OutDegree(r)
+}
+
+// Scatter expands a sparse kernel result to the dense length-n utility
+// vector Function.Vector returns.
+func Scatter(n int, idx []int32, val []float64) []float64 {
+	vec := make([]float64, n)
+	for i, id := range idx {
+		vec[id] = val[i]
+	}
+	return vec
+}
+
+// nodeMark is a pooled bitset over node IDs with O(marked) clearing, used
+// for the exclusion checks (is this node the target or one of its
+// out-neighbors?) that Candidates and the Degree kernel need without an
+// O(n) []bool allocation per call.
+type nodeMark struct {
+	words  []uint64
+	marked []int32 // word indices holding set bits, for cheap clearing
+}
+
+func (m *nodeMark) grow(n int) {
+	need := (n + 63) / 64
+	if len(m.words) < need {
+		m.words = make([]uint64, need)
+	}
+}
+
+func (m *nodeMark) set(i int) {
+	w := int32(i >> 6)
+	if m.words[w] == 0 {
+		m.marked = append(m.marked, w)
+	}
+	m.words[w] |= 1 << (uint(i) & 63)
+}
+
+func (m *nodeMark) has(i int) bool { return m.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (m *nodeMark) reset() {
+	for _, w := range m.marked {
+		m.words[w] = 0
+	}
+	m.marked = m.marked[:0]
+}
+
+var markPool = sync.Pool{New: func() any { return &nodeMark{} }}
+
+// getExclusions returns a pooled bitset with r and r's out-neighbors set.
+func getExclusions(v View, r int) *nodeMark {
+	m := markPool.Get().(*nodeMark)
+	m.grow(v.NumNodes())
+	m.set(r)
+	v.ForEachOutNeighbor(r, func(u int) { m.set(u) })
+	return m
+}
+
+func putExclusions(m *nodeMark) {
+	m.reset()
+	markPool.Put(m)
+}

@@ -53,8 +53,19 @@ type Function interface {
 
 	// Vector returns the utility of recommending every node to target r.
 	// Existing neighbors of r and r itself have utility 0. The returned
-	// slice has length v.NumNodes() and is owned by the caller.
+	// slice has length v.NumNodes() and is owned by the caller. It is a
+	// dense scatter of Sparse, kept for exhaustive evaluation (experiments,
+	// DP audits); serving paths use Sparse.
 	Vector(v View, r int) ([]float64, error)
+
+	// Sparse returns the nonzero support of the utility vector for target
+	// r: idx holds candidate node IDs ascending, val the matching positive
+	// utilities, bit-identical to the corresponding Vector entries. Nodes
+	// absent from idx — including r itself and r's existing out-neighbors —
+	// have utility 0. Kernels walk adjacency spans directly and cost
+	// O(support) work via pooled scratch, never a length-n allocation. The
+	// returned slices are owned by the caller.
+	Sparse(v View, r int) (idx []int32, val []float64, err error)
 
 	// Sensitivity returns the Δf plugged into the Exponential and Laplace
 	// mechanisms for graphs shaped like v: an upper bound on the L1 change
@@ -69,13 +80,6 @@ type Function interface {
 	// degree dr and current maximum utility umax. The experiments (§7.1)
 	// compute it exactly per target.
 	RewireCount(umax float64, dr int) int
-}
-
-// maskExisting zeroes the entries of vec for r itself and for every node r
-// already points to, enforcing the candidate convention.
-func maskExisting(v View, r int, vec []float64) {
-	vec[r] = 0
-	v.ForEachOutNeighbor(r, func(u int) { vec[u] = 0 })
 }
 
 // Max returns the largest value in vec (0 for an empty vector). Utility
@@ -110,12 +114,11 @@ func AllZero(vec []float64) bool {
 // to the recommendation receiver.
 func Candidates(v View, r int) []int {
 	n := v.NumNodes()
-	excluded := make([]bool, n)
-	excluded[r] = true
-	v.ForEachOutNeighbor(r, func(u int) { excluded[u] = true })
-	out := make([]int, 0, n-1)
+	excluded := getExclusions(v, r)
+	defer putExclusions(excluded)
+	out := make([]int, 0, CandidateCount(v, r))
 	for i := 0; i < n; i++ {
-		if !excluded[i] {
+		if !excluded.has(i) {
 			out = append(out, i)
 		}
 	}

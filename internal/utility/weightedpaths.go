@@ -46,27 +46,62 @@ func (w WeightedPaths) validate() error {
 	return nil
 }
 
-// Vector implements Function.
-func (w WeightedPaths) Vector(v View, r int) ([]float64, error) {
+// Sparse implements Function with a frontier-propagating walk count: each
+// level expands only the nodes reached at the previous level, so the cost is
+// the size of the MaxLen-hop out-neighborhood, not n. Frontiers are swept in
+// ascending node order, making every accumulated float bit-identical to the
+// dense walk-matrix computation.
+func (w WeightedPaths) Sparse(v View, r int) ([]int32, []float64, error) {
 	if err := w.validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if r < 0 || r >= v.NumNodes() {
-		return nil, fmt.Errorf("%w: %d", ErrTarget, r)
+		return nil, nil, fmt.Errorf("%w: %d", ErrTarget, r)
 	}
-	walks := v.WalkCountsFrom(r, w.maxLen())
-	vec := make([]float64, v.NumNodes())
+	s := getSparseScratch()
+	defer putSparseScratch(s)
+	// s.a accumulates the discounted score, s.b holds the current frontier's
+	// walk counts, s.c the next level's.
+	n := v.NumNodes()
+	s.a.grow(n)
+	s.b.grow(n)
+	s.c.grow(n)
+	frontier, next := &s.b, &s.c
+	for _, a := range outRow(v, r, &s.rowA) {
+		frontier.add(a, 1)
+	}
 	weight := 1.0 // γ^{l-2}
 	for l := 2; l <= w.maxLen(); l++ {
-		for i, c := range walks[l] {
-			if c != 0 {
-				vec[i] += weight * c
+		for _, a := range frontier.ascending(n) {
+			cnt := frontier.val[a]
+			if cnt == 0 {
+				continue
+			}
+			for _, i := range outRow(v, int(a), &s.rowB) {
+				next.add(i, cnt)
+			}
+		}
+		next.zero(int32(r))
+		for _, i := range next.ascending(n) {
+			if c := next.val[i]; c != 0 {
+				s.a.add(i, weight*c)
 			}
 		}
 		weight *= w.Gamma
+		frontier.reset()
+		frontier, next = next, frontier
 	}
-	maskExisting(v, r, vec)
-	return vec, nil
+	idx, val := collectSparse(v, r, &s.a)
+	return idx, val, nil
+}
+
+// Vector implements Function as a dense scatter of Sparse.
+func (w WeightedPaths) Vector(v View, r int) ([]float64, error) {
+	idx, val, err := w.Sparse(v, r)
+	if err != nil {
+		return nil, err
+	}
+	return Scatter(v.NumNodes(), idx, val), nil
 }
 
 // Sensitivity implements Function. Adding one edge (x, y) away from the

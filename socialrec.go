@@ -403,25 +403,30 @@ func (r *Recommender) buildMech(st *snapState) mechanism.Mechanism {
 }
 
 // computeVector runs the deterministic pre-processing stage for target: the
-// full utility vector, compacted over the candidate domain, plus — for the
-// exponential mechanism — the cumulative weight vector that turns each
-// subsequent draw into an O(log n) binary search. All of it is a pure
-// function of the snapshot and the public (ε, Δf), so precomputing it does
-// not change the mechanism's output distribution.
+// sparse utility kernel (nonzero support only — O(nnz) work and memory, no
+// length-n pass), the tail-rank mapping table, plus — for the exponential
+// mechanism — the sparse cumulative-weight form that turns each subsequent
+// draw into an O(log nnz) binary search. All of it is a pure function of
+// the snapshot and the public (ε, Δf), so precomputing it does not change
+// the mechanism's output distribution.
 func (r *Recommender) computeVector(st *snapState, target int) (*cachedVector, error) {
-	full, err := r.util.Vector(st.snap, target)
+	idx, val, err := r.util.Sparse(st.snap, target)
 	if err != nil {
 		return nil, err
 	}
-	candidates := utility.Candidates(st.snap, target)
-	vec := utility.Compact(full, candidates)
-	cv := &cachedVector{vec: vec, candidates: candidates, umax: utility.Max(vec)}
+	cv := &cachedVector{
+		idx:   idx,
+		val:   val,
+		umax:  utility.Max(val),
+		ncand: utility.CandidateCount(st.snap, target),
+	}
+	cv.skip = buildSkipTable(st.snap, target, idx)
 	// The CDF is only worth materializing when a cache will amortize it;
 	// uncached recommenders keep the mechanism's allocation-free pooled
 	// sampling path instead.
 	if cv.umax > 0 && r.cache.Load() != nil {
 		if e, ok := st.mech.(mechanism.Exponential); ok {
-			cdf, err := e.CDF(vec)
+			cdf, err := e.SparseCDF(cv.sparseVec())
 			if err != nil {
 				return nil, err
 			}
@@ -431,11 +436,43 @@ func (r *Recommender) computeVector(st *snapState, target int) (*cachedVector, e
 	return cv, nil
 }
 
-// vector returns the compacted utility vector over the candidate domain
-// (all nodes except the target and its existing out-neighbors), the
-// candidate index list mapping compact positions back to node IDs, and the
-// maximum utility. Results come from the cache when one is enabled; the
-// returned slices are shared and must not be mutated.
+// buildSkipTable returns the sorted union of target, target's
+// out-neighbors, and the nonzero support — every node a zero-tail rank must
+// step over. The three inputs are disjoint and already sorted, so a linear
+// merge produces the union without a sort.
+func buildSkipTable(snap graph.Store, target int, idx []int32) []int32 {
+	row := snap.Out(target)
+	skip := make([]int32, 0, len(row)+len(idx)+1)
+	tgt := int32(target)
+	i, j := 0, 0
+	for i < len(row) || j < len(idx) {
+		if i < len(row) && (j >= len(idx) || row[i] < idx[j]) {
+			if tgt >= 0 && tgt < row[i] {
+				skip = append(skip, tgt)
+				tgt = -1
+			}
+			skip = append(skip, row[i])
+			i++
+		} else {
+			if tgt >= 0 && tgt < idx[j] {
+				skip = append(skip, tgt)
+				tgt = -1
+			}
+			skip = append(skip, idx[j])
+			j++
+		}
+	}
+	if tgt >= 0 {
+		skip = append(skip, tgt)
+	}
+	return skip
+}
+
+// vector returns the sparse utility form over the candidate domain (all
+// nodes except the target and its existing out-neighbors): the nonzero
+// support, the candidate count, the tail-rank table, and the maximum
+// utility. Results come from the cache when one is enabled; the returned
+// slices are shared and must not be mutated.
 func (r *Recommender) vector(st *snapState, target int) (*cachedVector, error) {
 	if target < 0 || target >= st.snap.NumNodes() {
 		return nil, fmt.Errorf("%w: %d", ErrBadTarget, target)
@@ -484,19 +521,24 @@ func (r *Recommender) recommend(target int, rng *rand.Rand) (Recommendation, err
 	if err != nil {
 		return Recommendation{}, err
 	}
-	var idx int
+	var pick mechanism.Pick
 	if cv.cdf != nil {
-		// Precomputed exponential CDF: same single rng.Float64() and the
-		// same inverse-CDF inversion as Exponential.Recommend, via binary
-		// search instead of a linear weight pass.
-		idx = mechanism.SampleCDF(cv.cdf, rng)
+		// Precomputed sparse CDF: same single rng.Float64() and the same
+		// two-stage inversion as Exponential.RecommendSparse, via binary
+		// search over the nonzero support instead of a linear weight pass.
+		pick = mechanism.SampleSparseCDF(cv.cdf, rng)
 	} else {
-		idx, err = st.mech.Recommend(cv.vec, rng)
+		sm, ok := st.mech.(mechanism.SparseMechanism)
+		if !ok {
+			return Recommendation{}, fmt.Errorf("socialrec: mechanism %s has no sparse draw", st.mech.Name())
+		}
+		pick, err = sm.RecommendSparse(cv.sparseVec(), rng)
 		if err != nil {
 			return Recommendation{}, err
 		}
 	}
-	return Recommendation{Target: target, Node: cv.candidates[idx], Utility: cv.vec[idx], MaxUtility: cv.umax}, nil
+	node, util := cv.resolve(pick)
+	return Recommendation{Target: target, Node: node, Utility: util, MaxUtility: cv.umax}, nil
 }
 
 // ExpectedAccuracy returns the expected accuracy (Definition 2: expected
@@ -509,11 +551,15 @@ func (r *Recommender) ExpectedAccuracy(target int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if d, ok := st.mech.(mechanism.Distribution); ok {
-		return mechanism.ExpectedAccuracy(d, cv.vec)
+	if d, ok := st.mech.(mechanism.SparseDistribution); ok {
+		return mechanism.ExpectedAccuracySparse(d, cv.sparseVec())
+	}
+	sm, ok := st.mech.(mechanism.SparseMechanism)
+	if !ok {
+		return 0, fmt.Errorf("socialrec: mechanism %s has no sparse draw", st.mech.Name())
 	}
 	rng := distribution.SplitN(r.seed, "accuracy", target)
-	return mechanism.MonteCarloAccuracy(st.mech, cv.vec, mechanism.DefaultLaplaceTrials, rng)
+	return mechanism.MonteCarloAccuracySparse(sm, cv.sparseVec(), mechanism.DefaultLaplaceTrials, rng)
 }
 
 // AccuracyCeiling returns the Corollary 1 upper bound on the expected
@@ -528,7 +574,7 @@ func (r *Recommender) AccuracyCeiling(target int) (float64, error) {
 		return 0, err
 	}
 	t := r.util.RewireCount(cv.umax, st.snap.OutDegree(target))
-	return bounds.TightestAccuracyBound(cv.vec, r.epsilon, t)
+	return bounds.TightestAccuracyBoundSparse(cv.val, cv.ncand, r.epsilon, t)
 }
 
 // EpsilonFloor returns the minimum ε (leading order) at which a

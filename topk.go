@@ -21,6 +21,10 @@ import (
 //     costs k·ln(1+nx/(1-x)), so the per-construction x is derated to ε/k.
 //   - MechanismNone returns the exact top k (no privacy).
 //
+// Every arm runs over the sparse utility form: the zero tail is sampled in
+// closed form (mechanism.TopKLaplaceSparse, TopKPeelSparse), so a k-set
+// costs O(nnz + k) instead of O(n) per release.
+//
 // The paper's Appendix A observes that multiple recommendations face
 // strictly harsher accuracy limits than single ones; expect noticeably
 // worse per-set accuracy as k grows.
@@ -39,29 +43,29 @@ func (r *Recommender) recommendTopK(target, k int, rng *rand.Rand) ([]Recommenda
 	if err != nil {
 		return nil, err
 	}
-	vec, candidates, umax := cv.vec, cv.candidates, cv.umax
-	if k < 1 || k > len(vec) {
-		return nil, fmt.Errorf("socialrec: k=%d outside [1, %d] for node %d", k, len(vec), target)
+	if k < 1 || k > cv.ncand {
+		return nil, fmt.Errorf("socialrec: k=%d outside [1, %d] for node %d", k, cv.ncand, target)
 	}
 
-	var picked []int
+	var picks []mechanism.Pick
 	switch r.kind {
 	case MechanismLaplace:
-		picked, err = mechanism.TopKLaplace(r.epsilon, st.sens, vec, k, rng)
+		picks, err = mechanism.TopKLaplaceSparse(r.epsilon, st.sens, cv.sparseVec(), k, rng)
 	case MechanismExponential:
-		picked, err = mechanism.TopKPeel(r.epsilon, st.sens, vec, k, rng)
+		picks, err = mechanism.TopKPeelSparse(r.epsilon, st.sens, cv.sparseVec(), k, rng)
 	case MechanismSmoothing:
-		picked, err = r.smoothingTopK(vec, k, rng)
+		picks, err = r.smoothingTopK(cv, k, rng)
 	default: // MechanismNone
-		picked = mechanism.TopIndices(vec, k)
+		picks = bestTopK(cv, k)
 	}
 	if err != nil {
 		return nil, err
 	}
 
-	out := make([]Recommendation, len(picked))
-	for i, idx := range picked {
-		out[i] = Recommendation{Target: target, Node: candidates[idx], Utility: vec[idx], MaxUtility: umax}
+	out := make([]Recommendation, len(picks))
+	for i, p := range picks {
+		node, util := cv.resolve(p)
+		out[i] = Recommendation{Target: target, Node: node, Utility: util, MaxUtility: cv.umax}
 	}
 	slices.SortStableFunc(out, func(a, b Recommendation) int {
 		switch {
@@ -76,49 +80,86 @@ func (r *Recommender) recommendTopK(target, k int, rng *rand.Rand) ([]Recommenda
 	return out, nil
 }
 
+// bestTopK is the non-private exact top k over the sparse form: the largest
+// support entries (ties toward the lower node ID, as a stable descending
+// sort of the dense vector would order them), padded with the
+// lowest-ranked zero-tail candidates when k exceeds the support.
+func bestTopK(cv *cachedVector, k int) []mechanism.Pick {
+	picks := make([]mechanism.Pick, 0, k)
+	ks := min(k, len(cv.val))
+	if ks > 0 {
+		for _, i := range mechanism.TopIndices(cv.val, ks) {
+			picks = append(picks, mechanism.Pick{Support: i})
+		}
+	}
+	for rank := 0; len(picks) < k; rank++ {
+		picks = append(picks, mechanism.TailPick(rank))
+	}
+	return picks
+}
+
 // smoothingTopK draws k distinct candidates from A_S(x') without
 // replacement, where x' is derated so that k-fold composition stays within
-// the Recommender's ε. Instead of rejection-sampling until k distinct
-// candidates appear — whose worst case is unbounded when the smoothing
-// distribution concentrates on few winners — it computes the closed-form
-// A_S(x') probabilities once and then draws from the distribution
-// renormalized over the not-yet-chosen candidates, which is exactly the
-// conditional law the rejection loop converges to, in guaranteed O(k·n).
-func (r *Recommender) smoothingTopK(vec []float64, k int, rng *rand.Rand) ([]int, error) {
-	x, err := mechanism.SmoothingXForEpsilon(r.epsilon/float64(k), len(vec))
+// the Recommender's ε. It computes the closed-form A_S(x') probabilities
+// once and then draws from the distribution renormalized over the
+// not-yet-chosen candidates — exactly the conditional law a rejection loop
+// would converge to — in guaranteed O(k·nnz): the zero tail's candidates
+// are exchangeable and share one probability, so the tail needs a mass
+// comparison plus a uniform rank, never an O(n) scan.
+func (r *Recommender) smoothingTopK(cv *cachedVector, k int, rng *rand.Rand) ([]mechanism.Pick, error) {
+	x, err := mechanism.SmoothingXForEpsilon(r.epsilon/float64(k), cv.ncand)
 	if err != nil {
 		return nil, err
 	}
 	s := mechanism.Smoothing{X: x, Base: mechanism.Best{}}
-	p, err := s.Probabilities(vec)
+	support, tailEach, err := s.ProbabilitiesSparse(cv.sparseVec())
 	if err != nil {
 		return nil, err
 	}
 
-	chosen := newBitset(len(p))
-	remaining := 1.0 // total probability mass of the unchosen candidates
-	out := make([]int, 0, k)
-	for len(out) < k {
+	chosen := newBitset(len(support))
+	var taken mechanism.TailTracker
+	m := cv.ncand - len(support) // tail candidates still unchosen
+	remaining := 1.0             // total probability mass of the unchosen candidates
+	picks := make([]mechanism.Pick, 0, k)
+	for len(picks) < k {
 		t := rng.Float64() * remaining
-		pick := -1
+		supportPick := -1
 		var acc float64
-		for i, pi := range p {
+		for i, pi := range support {
 			if chosen.has(i) {
 				continue
 			}
-			pick = i
+			supportPick = i
 			acc += pi
 			if t < acc {
 				break
 			}
 		}
-		// pick falls through to the last unchosen candidate when floating
-		// point rounding leaves t marginally above the accumulated mass.
-		chosen.set(pick)
-		remaining -= p[pick]
-		out = append(out, pick)
+		if (t >= acc || supportPick < 0) && m > 0 {
+			// The draw landed in the tail mass (or no unchosen support
+			// remains): a uniform rank picks among the exchangeable
+			// zero-utility candidates.
+			rank := int((t - acc) / tailEach)
+			if rank >= m {
+				rank = m - 1 // rounding falls through to the last tail slot
+			}
+			if rank < 0 {
+				rank = 0
+			}
+			picks = append(picks, mechanism.TailPick(taken.Take(rank)))
+			m--
+			remaining -= tailEach
+			continue
+		}
+		// supportPick falls through to the last unchosen support candidate
+		// when floating-point rounding leaves t marginally above the
+		// accumulated mass.
+		chosen.set(supportPick)
+		remaining -= support[supportPick]
+		picks = append(picks, mechanism.Pick{Support: supportPick})
 	}
-	return out, nil
+	return picks, nil
 }
 
 // bitset is a dense bit vector used to mark already-chosen candidates.
