@@ -56,6 +56,80 @@ func (r *Recommender) BatchRecommendTopK(targets []int, k int) []BatchTopKResult
 	return out
 }
 
+// Accounted batch serving: the Accountant's batch methods run one
+// reservation round up front — charging every target against its own
+// principal's budget and the global budget in one sequential pass — and
+// then fan only the granted targets across the worker pool. Refusal is
+// per-target, not all-or-nothing: an exhausted principal gets
+// ErrBudgetExhausted in its slot while every other target proceeds, so one
+// hot user cannot fail a whole evaluation sweep. Targets whose evaluation
+// fails after being granted are refunded individually (each refund cancels
+// exactly its own reservation).
+
+// BatchRecommend returns one private recommendation per target, charged
+// and evaluated as described above. Results are positionally aligned with
+// targets; granted targets draw from the same split RNG as individual
+// Recommend calls, so their results are bit-identical to a sequential
+// loop.
+func (a *Accountant) BatchRecommend(targets []int) []BatchResult {
+	out := make([]BatchResult, len(targets))
+	eps := a.rec.Epsilon()
+	tokens := make([]reservation, len(targets))
+	granted := make([]bool, len(targets))
+	for i, t := range targets {
+		tok, err := a.charge(a.key(t), t, 1, eps)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		tokens[i], granted[i] = tok, true
+	}
+	par.ForEach(len(targets), func(pos int) {
+		if !granted[pos] {
+			return
+		}
+		rec, err := a.rec.Recommend(targets[pos])
+		if err != nil {
+			a.refund(tokens[pos])
+			out[pos] = BatchResult{Err: err}
+			return
+		}
+		out[pos] = BatchResult{Recommendation: rec}
+	})
+	return out
+}
+
+// BatchRecommendTopK is the Accountant's BatchRecommend for
+// k-recommendation lists; each granted target is charged one ε for its
+// whole list, exactly as RecommendTopK.
+func (a *Accountant) BatchRecommendTopK(targets []int, k int) []BatchTopKResult {
+	out := make([]BatchTopKResult, len(targets))
+	eps := a.rec.Epsilon()
+	tokens := make([]reservation, len(targets))
+	granted := make([]bool, len(targets))
+	for i, t := range targets {
+		tok, err := a.charge(a.key(t), t, k, eps)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		tokens[i], granted[i] = tok, true
+	}
+	par.ForEach(len(targets), func(pos int) {
+		if !granted[pos] {
+			return
+		}
+		recs, err := a.rec.RecommendTopK(targets[pos], k)
+		if err != nil {
+			a.refund(tokens[pos])
+			out[pos] = BatchTopKResult{Err: err}
+			return
+		}
+		out[pos] = BatchTopKResult{Recommendations: recs}
+	})
+	return out
+}
+
 // Precompute warms the utility-vector cache for the given targets, fanning
 // the deterministic pre-noise computation across runtime.NumCPU() workers.
 // It releases nothing (no mechanism draw happens), so it costs no privacy

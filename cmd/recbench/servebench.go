@@ -9,9 +9,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"socialrec"
+	"socialrec/internal/budget"
 	"socialrec/internal/experiment"
 	"socialrec/internal/gen"
 	"socialrec/internal/mechanism"
@@ -48,6 +50,136 @@ type serveBenchResult struct {
 	ColdStart coldStartResult `json:"cold_start"`
 
 	Sparse sparseBenchResult `json:"sparse"`
+
+	Accountant accountantBenchResult `json:"accountant"`
+}
+
+// accountantBenchResult compares the seed's budget accounting (one global
+// mutex guarding a spend counter and an append-only ledger, with budget
+// polls copying the whole ledger to count calls) against the sharded
+// per-principal manager (striped principals, O(1) atomic counters) on the
+// serving workload: concurrent charges and refunds across many
+// principals, with a periodic budget poll per goroutine — the /healthz
+// and /v1/budget traffic every deployment runs. The poll is where the
+// seed's O(total-requests-served) Ledger() copy dominates; admission
+// itself is where the global mutex serializes concurrent principals.
+type accountantBenchResult struct {
+	Principals      int `json:"principals"`
+	Goroutines      int `json:"goroutines"`
+	OpsPerGoroutine int `json:"ops_per_goroutine"`
+	// PollEvery is how many charges separate two budget polls of one
+	// goroutine.
+	PollEvery       int     `json:"poll_every"`
+	GlobalMutexNsOp float64 `json:"global_mutex_ns_per_op"`
+	ShardedNsOp     float64 `json:"sharded_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// seedAccountant replicates the pre-sharding accountant's accounting
+// state machine: every operation takes the one global mutex, refunds
+// truncate the newest ledger entry, and a poll copies the ledger to count
+// calls (exactly what /v1/budget did per request).
+type seedAccountant struct {
+	mu     sync.Mutex
+	total  float64
+	spent  float64
+	ledger []socialrec.Spend
+}
+
+func (a *seedAccountant) charge(target int, eps float64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.spent+eps > a.total+1e-12 {
+		return false
+	}
+	a.spent += eps
+	a.ledger = append(a.ledger, socialrec.Spend{Target: target, K: 1, Epsilon: eps})
+	return true
+}
+
+func (a *seedAccountant) refundLast(eps float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.spent -= eps
+	if n := len(a.ledger); n > 0 {
+		a.ledger = a.ledger[:n-1]
+	}
+}
+
+func (a *seedAccountant) poll() (spent float64, calls int) {
+	a.mu.Lock()
+	ledger := append([]socialrec.Spend(nil), a.ledger...)
+	spent = a.spent
+	a.mu.Unlock()
+	return spent, len(ledger)
+}
+
+func runAccountantBench(quick bool) accountantBenchResult {
+	res := accountantBenchResult{
+		Principals:      64,
+		Goroutines:      8,
+		OpsPerGoroutine: 50000,
+		PollEvery:       512,
+	}
+	if quick {
+		res.OpsPerGoroutine = 20000
+	}
+	// Budgets far above total spend: this measures accounting overhead,
+	// not admission refusals. ε per charge is tiny for the same reason.
+	const eps = 1e-9
+	limit := 2 * eps * float64(res.Goroutines*res.OpsPerGoroutine)
+
+	run := func(op func(g, i int), poll func()) float64 {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for g := 0; g < res.Goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < res.OpsPerGoroutine; i++ {
+					op(g, i)
+					if i%res.PollEvery == 0 {
+						poll()
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		return float64(time.Since(start).Nanoseconds()) / float64(res.Goroutines*res.OpsPerGoroutine)
+	}
+
+	seed := &seedAccountant{total: limit}
+	res.GlobalMutexNsOp = run(func(g, i int) {
+		target := (g*res.OpsPerGoroutine + i) % res.Principals
+		if !seed.charge(target, eps) {
+			panic("seed accountant refused within budget")
+		}
+		if i%4 == 0 {
+			seed.refundLast(eps)
+		}
+	}, func() { seed.poll() })
+
+	mgr := budget.NewManager(budget.Limits{Global: limit, PerPrincipal: limit})
+	keys := make([]string, res.Principals)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user-%d", i)
+	}
+	res.ShardedNsOp = run(func(g, i int) {
+		r, err := mgr.Reserve(keys[(g*res.OpsPerGoroutine+i)%res.Principals], eps)
+		if err != nil {
+			panic(err)
+		}
+		if i%4 == 0 {
+			r.Refund()
+		}
+	}, func() {
+		mgr.Global()
+		mgr.Principals()
+	})
+	if res.ShardedNsOp > 0 {
+		res.Speedup = res.GlobalMutexNsOp / res.ShardedNsOp
+	}
+	return res
 }
 
 // sparseBenchResult compares the dense O(n) serving pipeline (full utility
@@ -307,6 +439,8 @@ func runServeBench(opts experiment.SuiteOptions, outPath string, quick bool) err
 		return err
 	}
 
+	res.Accountant = runAccountantBench(quick)
+
 	f, err := os.Create(outPath)
 	if err != nil {
 		return err
@@ -332,11 +466,20 @@ func runServeBench(opts experiment.SuiteOptions, outPath string, quick bool) err
 		sp.DenseUncachedNsOp, sp.SparseUncachedNsOp, sp.UncachedSpeedup,
 		sp.DenseBytesPerEntry, sp.SparseBytesPerEntry, sp.CachedBytesReduction,
 		sp.SparseCachedNsOp, sp.TopK5NsOp)
+	ab := res.Accountant
+	fmt.Printf("accountant (%d principals, %d goroutines, poll every %d): global mutex %.0f ns/op vs sharded %.0f ns/op (%.1fx)\n",
+		ab.Principals, ab.Goroutines, ab.PollEvery, ab.GlobalMutexNsOp, ab.ShardedNsOp, ab.Speedup)
 	if quick && sp.SparseUncachedNsOp > 1.1*sp.DenseUncachedNsOp {
 		// Guardrail, not an absolute-time gate: only the dense/sparse ratio
 		// on the same machine and dataset is asserted, with 10% headroom.
 		return fmt.Errorf("sparse guardrail: uncached sparse path (%.0f ns/op) slower than dense (%.0f ns/op)",
 			sp.SparseUncachedNsOp, sp.DenseUncachedNsOp)
+	}
+	if quick && ab.ShardedNsOp > 1.1*ab.GlobalMutexNsOp {
+		// Same style of guardrail: the sharded manager must not lose to
+		// the old global lock on the serving workload it replaced.
+		return fmt.Errorf("accountant guardrail: sharded manager (%.0f ns/op) slower than the global lock (%.0f ns/op)",
+			ab.ShardedNsOp, ab.GlobalMutexNsOp)
 	}
 	return nil
 }

@@ -4,18 +4,29 @@
 // Usage:
 //
 //	recserve -graph social.txt -epsilon 1 -budget 100 -addr :8080
+//	recserve -graph social.txt -epsilon 1 -per-user-budget 5
 //	recserve -snapshot social.srsnap -store mmap
 //	recserve -graph social.txt -live -rebuild-interval 100ms -max-pending 1024
 //	recserve -snapshot social.srsnap -live -persist-snapshot social.srsnap
 //
 // Endpoints:
 //
-//	GET /healthz                       status, snapshot version, cache + live stats
+//	GET /healthz                       status, snapshot version, cache + live + budget stats
 //	GET /v1/recommend?target=42        one private recommendation
 //	GET /v1/recommend?target=42&k=5    private top-k
 //	GET /v1/audit?target=42            accuracy ceiling + expected accuracy
 //	GET /v1/budget                     global privacy budget status
+//	GET /v1/budget?target=42           target 42's own budget scope
 //	GET /debug/pprof/...               profiling (only with -pprof; operator-only)
+//
+// Budgets: -budget caps the deployment-wide privacy spend; -per-user-budget
+// additionally caps each target node's own cumulative spend — the paper's ε
+// composition is per user, so the per-user cap is the deployment's real
+// privacy posture, and one hot user exhausting their own budget no longer
+// exhausts everyone's. Either flag alone enables accounting (-budget 0
+// -per-user-budget 5 runs with per-user caps only). Refused requests get
+// 429 with Retry-After and X-Budget-Remaining headers; refusals are
+// per-user and independent.
 //
 // Startup: -graph re-parses a SNAP edge list and rebuilds adjacency —
 // minutes on large graphs. -snapshot cold-starts from the checksummed
@@ -75,7 +86,8 @@ func main() {
 		storeMode = flag.String("store", "auto", "snapshot backend: auto, heap, or mmap (with -snapshot)")
 		directed  = flag.Bool("directed", false, "treat the edge list as directed (with -graph)")
 		epsilon   = flag.Float64("epsilon", 1, "per-recommendation privacy parameter")
-		budget    = flag.Float64("budget", 100, "total privacy budget (0 disables budgeting)")
+		budget    = flag.Float64("budget", 100, "total privacy budget across all users (0 disables the global cap)")
+		perUser   = flag.Float64("per-user-budget", 0, "per-target-node privacy budget; refusals are per user (0 disables per-user accounting)")
 		mech      = flag.String("mechanism", "exponential", "mechanism: exponential, laplace, smoothing")
 		addr      = flag.String("addr", ":8080", "listen address")
 		seed      = flag.Int64("seed", 0, "seed (0 = time-based; use non-zero only for testing)")
@@ -160,10 +172,11 @@ func main() {
 	loadTime := time.Since(loadStart)
 
 	srv, err := recserver.New(recserver.Config{
-		Recommender:  rec,
-		TotalEpsilon: *budget,
-		CacheSize:    *cache,
-		EnablePprof:  *pprofFlag,
+		Recommender:         rec,
+		TotalEpsilon:        *budget,
+		PerPrincipalEpsilon: *perUser,
+		CacheSize:           *cache,
+		EnablePprof:         *pprofFlag,
 	})
 	if err != nil {
 		log.Fatalf("recserve: %v", err)
@@ -173,8 +186,12 @@ func main() {
 	if *live {
 		mode = fmt.Sprintf("live graph (rebuild every %v or %d deltas)", *interval, *maxPend)
 	}
-	log.Printf("recserve: loaded %s in %v, eps=%g, budget=%g, %s, listening on %s",
-		source, loadTime.Round(time.Millisecond), *epsilon, *budget, mode, *addr)
+	budgets := fmt.Sprintf("budget=%g", *budget)
+	if *perUser > 0 {
+		budgets += fmt.Sprintf(" per-user=%g", *perUser)
+	}
+	log.Printf("recserve: loaded %s in %v, eps=%g, %s, %s, listening on %s",
+		source, loadTime.Round(time.Millisecond), *epsilon, budgets, mode, *addr)
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,

@@ -59,6 +59,50 @@
 // budgets additively regardless of cache hits), because the mechanism draw,
 // not the utility computation, is what consumes the budget.
 //
+// # Budget accounting
+//
+// The paper's guarantee is stated per user: Definition 1 bounds how much
+// any one recommendation distribution can depend on any one sensitive
+// edge, and sequential composition then adds the ε of every query
+// answered. That composition is per principal — the cumulative spend on
+// behalf of each individual target is what bounds how much the system has
+// revealed about that user's world — so a deployment's real privacy
+// posture is the per-target cumulative ε, not one global scalar. A single
+// global budget gets both directions wrong at scale: one hot user's
+// traffic exhausts everyone's budget, while the number nominally
+// protecting "the deployment" says nothing about how much any individual
+// target has leaked.
+//
+// The Accountant therefore enforces budgets at two scopes. The global cap
+// (NewAccountant's totalEpsilon) preserves the original deployment-wide
+// semantics; PerPrincipalBudget adds a cap on each principal's cumulative
+// spend — the target node by default, or API keys/tenants via
+// PrincipalKeyFunc and the RecommendAs variants. Exhaustion is per
+// principal: one user at their cap is refused (ErrBudgetExhausted,
+// carrying a *BudgetError naming the refused scope) while every other
+// user keeps serving.
+//
+// Internally, admission is a striped per-principal manager with O(1)
+// atomic counters, so concurrent requests for different principals never
+// contend on a global lock. Charges are reservations: the budget is
+// debited before the query runs (concurrent callers cannot jointly
+// overspend) and a failed query refunds exactly its own reservation — by
+// construction a refund can never cancel another request's charge. The
+// optional audit ledger (disable with DisableLedger for
+// millions-of-principals serving) records every admitted call;
+// Spent() == Σ Ledger() is an invariant at every observable instant, and
+// Calls() reads an O(1) counter rather than copying the ledger. The
+// Accountant's batch methods charge a whole evaluation sweep in one
+// reservation round with per-target partial refusal, so an exhausted
+// principal cannot fail the rest of a batch.
+//
+// Refunds are DP-safe for the same reason errors are: a refused or failed
+// call released nothing about protected edges (refusal depends only on
+// public parameters and the caller's own past spend; per-target errors
+// depend on the target's own edges, which the relaxed Definition 1 leaves
+// unprotected), so crediting its ε back does not weaken the composition
+// bound over what was actually released.
+//
 // # Serving complexity
 //
 // The paper's utilities are zero outside a target's 2-3-hop out-

@@ -1,0 +1,272 @@
+package budget
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestReserveAndRefund(t *testing.T) {
+	m := NewManager(Limits{Global: 10, PerPrincipal: 3})
+	r1, err := m.Reserve("alice", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Principal() != "alice" || r1.Epsilon() != 1 {
+		t.Errorf("reservation = %q/%g", r1.Principal(), r1.Epsilon())
+	}
+	g := m.Global()
+	if g.Spent != 1 || g.Remaining != 9 || g.Calls != 1 {
+		t.Errorf("global after one charge: %+v", g)
+	}
+	p, seen := m.Principal("alice")
+	if !seen || p.Spent != 1 || p.Remaining != 2 || p.Calls != 1 {
+		t.Errorf("alice after one charge: %+v (seen=%v)", p, seen)
+	}
+	if !r1.Refund() {
+		t.Error("first refund reported not performed")
+	}
+	if r1.Refund() {
+		t.Error("double refund performed twice")
+	}
+	g, p = m.Global(), mustPrincipal(t, m, "alice")
+	if g.Spent != 0 || g.Calls != 0 || p.Spent != 0 || p.Calls != 0 {
+		t.Errorf("after refund: global %+v, alice %+v", g, p)
+	}
+}
+
+func mustPrincipal(t *testing.T, m *Manager, key string) Stats {
+	t.Helper()
+	st, _ := m.Principal(key)
+	return st
+}
+
+func TestPerPrincipalLimitsAreIndependent(t *testing.T) {
+	m := NewManager(Limits{PerPrincipal: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := m.Reserve("hot", 1); err != nil {
+			t.Fatalf("hot charge %d: %v", i, err)
+		}
+	}
+	_, err := m.Reserve("hot", 1)
+	var ex *Exhausted
+	if !errors.As(err, &ex) || !errors.Is(err, ErrExhausted) {
+		t.Fatalf("exhausted principal: got %v", err)
+	}
+	if ex.Principal != "hot" || ex.Limit != 2 || ex.Remaining() != 0 {
+		t.Errorf("exhausted detail: %+v", ex)
+	}
+	// Another principal is untouched by hot's exhaustion.
+	if _, err := m.Reserve("cold", 1); err != nil {
+		t.Errorf("cold principal refused after hot exhausted: %v", err)
+	}
+	// Global scope is uncapped here.
+	if g := m.Global(); !math.IsInf(g.Remaining, 1) {
+		t.Errorf("uncapped global remaining = %g", g.Remaining)
+	}
+}
+
+func TestGlobalLimitRollsBackOnPrincipalRefusal(t *testing.T) {
+	m := NewManager(Limits{Global: 10, PerPrincipal: 1})
+	if _, err := m.Reserve("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	// a's second charge is refused at the principal scope; the global
+	// debit must be rolled back.
+	if _, err := m.Reserve("a", 1); err == nil {
+		t.Fatal("over-limit principal charge admitted")
+	}
+	if g := m.Global(); g.Spent != 1 {
+		t.Errorf("global spend after rollback = %g, want 1", g.Spent)
+	}
+}
+
+func TestGlobalExhaustion(t *testing.T) {
+	m := NewManager(Limits{Global: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := m.Reserve(fmt.Sprint(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := m.Reserve("another", 1)
+	var ex *Exhausted
+	if !errors.As(err, &ex) {
+		t.Fatalf("got %v", err)
+	}
+	if ex.Principal != "" {
+		t.Errorf("global refusal names principal %q", ex.Principal)
+	}
+}
+
+func TestReserveValidation(t *testing.T) {
+	m := NewManager(Limits{Global: 1})
+	for _, eps := range []float64{0, -1} {
+		if _, err := m.Reserve("x", eps); err == nil {
+			t.Errorf("eps=%g admitted", eps)
+		}
+	}
+}
+
+func TestToleranceAdmitsExactBoundary(t *testing.T) {
+	// 0.1*3 accumulates to 0.30000000000000004; the tolerance must admit
+	// the third charge against a cap of 0.3, and the clamp must keep the
+	// reported remaining at exactly 0, never negative.
+	m := NewManager(Limits{Global: 0.3, PerPrincipal: 0.3})
+	for i := 0; i < 3; i++ {
+		if _, err := m.Reserve("a", 0.1); err != nil {
+			t.Fatalf("boundary charge %d refused: %v", i, err)
+		}
+	}
+	if _, err := m.Reserve("a", 0.1); err == nil {
+		t.Fatal("charge past the cap admitted")
+	}
+	if g := m.Global(); g.Remaining != 0 {
+		t.Errorf("remaining at boundary = %g, want exactly 0", g.Remaining)
+	}
+	if p := mustPrincipal(t, m, "a"); p.Remaining != 0 {
+		t.Errorf("principal remaining at boundary = %g, want exactly 0", p.Remaining)
+	}
+}
+
+func TestUnseenPrincipalStats(t *testing.T) {
+	m := NewManager(Limits{PerPrincipal: 5})
+	st, seen := m.Principal("ghost")
+	if seen {
+		t.Error("unseen principal reported seen")
+	}
+	if st.Limit != 5 || st.Spent != 0 || st.Remaining != 5 || st.Calls != 0 {
+		t.Errorf("unseen principal stats: %+v", st)
+	}
+	if m.Principals() != 0 {
+		t.Errorf("Principals() = %d before any charge", m.Principals())
+	}
+}
+
+// TestManagerHammer drives reservations and refunds from many goroutines
+// over many principals; under -race it proves the stripes and CAS loops
+// are sound, and the final counters prove no reservation was lost,
+// double-counted, or refunded into another principal's scope.
+func TestManagerHammer(t *testing.T) {
+	const (
+		principals = 96
+		workers    = 8
+		opsPerW    = 400
+		eps        = 0.5
+	)
+	m := NewManager(Limits{Global: principals * opsPerW, PerPrincipal: opsPerW})
+	keys := make([]string, principals)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("user-%d", i)
+	}
+
+	var granted, refunded atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerW; i++ {
+				key := keys[(w*opsPerW+i)%principals]
+				r, err := m.Reserve(key, eps)
+				if err != nil {
+					t.Errorf("unexpected refusal: %v", err)
+					return
+				}
+				granted.Add(1)
+				// Every third op simulates a failed query and refunds.
+				if i%3 == 0 {
+					if !r.Refund() {
+						t.Error("refund of a live reservation failed")
+						return
+					}
+					refunded.Add(1)
+					if r.Refund() {
+						t.Error("double refund succeeded")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers: stats must stay within bounds at all times.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if g := m.Global(); g.Spent < 0 || g.Remaining < 0 {
+				t.Errorf("global stats out of range: %+v", g)
+				return
+			}
+			if p, _ := m.Principal(keys[0]); p.Spent < 0 || p.Remaining < 0 {
+				t.Errorf("principal stats out of range: %+v", p)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	live := granted.Load() - refunded.Load()
+	g := m.Global()
+	if g.Calls != live {
+		t.Errorf("global calls = %d, want %d granted-refunded", g.Calls, live)
+	}
+	if want := float64(live) * eps; math.Abs(g.Spent-want) > 1e-6 {
+		t.Errorf("global spent = %g, want %g", g.Spent, want)
+	}
+	// The global counters must equal the sum over principals: a refund
+	// that credited the wrong principal would break this even though the
+	// global totals look right.
+	var sumSpent float64
+	var sumCalls int64
+	for _, key := range keys {
+		p, _ := m.Principal(key)
+		sumSpent += p.Spent
+		sumCalls += p.Calls
+	}
+	if math.Abs(sumSpent-g.Spent) > 1e-6 || sumCalls != g.Calls {
+		t.Errorf("principal sums (%g, %d) != global (%g, %d)", sumSpent, sumCalls, g.Spent, g.Calls)
+	}
+	if m.Principals() != principals {
+		t.Errorf("Principals() = %d, want %d", m.Principals(), principals)
+	}
+}
+
+// TestManagerExhaustionRace races many goroutines against one principal's
+// tiny budget: exactly limit/eps reservations may win, whatever the
+// interleaving.
+func TestManagerExhaustionRace(t *testing.T) {
+	const limit = 8
+	m := NewManager(Limits{PerPrincipal: limit})
+	var won atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := m.Reserve("contended", 1); err == nil {
+					won.Add(1)
+				} else if !errors.Is(err, ErrExhausted) {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if won.Load() != limit {
+		t.Errorf("%d reservations won on a budget of %d", won.Load(), limit)
+	}
+}

@@ -1,9 +1,26 @@
 // Package recserver exposes a differentially private social recommender
 // over HTTP. It is the deployment shell around the socialrec public API:
 // JSON endpoints for recommendations, top-k lists, and privacy audits, with
-// a global privacy-budget accountant so that a deployment cannot silently
-// answer unlimited queries (differential privacy composes additively; see
+// privacy-budget accounting so that a deployment cannot silently answer
+// unlimited queries (differential privacy composes additively; see
 // socialrec.Accountant).
+//
+// Budget accounting: Config.TotalEpsilon caps the deployment-wide spend
+// and Config.PerPrincipalEpsilon caps each principal's — the target node,
+// i.e. the individual user the paper's per-user ε guarantee is about.
+// Either cap alone or both together enable the accountant. A refused
+// request gets 429 with two headers: Retry-After (advisory back-off;
+// privacy budgets do not replenish on their own, but operators raise
+// limits or rotate deployment epochs out of band) and X-Budget-Remaining
+// (the refusing scope's leftover ε, clamped at 0). Per-principal refusals
+// are independent: one exhausted user never blocks another.
+//
+// GET /v1/budget reports the global scope — total (0 = uncapped), spent,
+// remaining (omitted when uncapped), calls, per_principal_limit, and
+// principals (distinct principals charged). GET /v1/budget?target=N
+// reports the scope of the principal that target maps to: principal,
+// limit, spent, remaining (omitted when uncapped), calls. /healthz carries
+// the same global gauges under "budget".
 //
 // Privacy posture: responses never include utility scores — only node IDs.
 // Returning the (non-private) utility of the recommended candidate would
@@ -47,6 +64,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -59,9 +77,16 @@ type Config struct {
 	// Recommender is the configured private recommender (required).
 	Recommender *socialrec.Recommender
 	// TotalEpsilon is the global privacy budget; once spent, /recommend
-	// returns 429. Zero disables budgeting (NOT recommended; provided for
-	// load testing only).
+	// returns 429. Zero disables the global cap (NOT recommended; provided
+	// for load testing only) — budgeting as a whole is disabled only when
+	// PerPrincipalEpsilon is also zero.
 	TotalEpsilon float64
+	// PerPrincipalEpsilon caps each principal's (per target node)
+	// cumulative privacy spend; a principal at its cap gets 429 while
+	// every other principal keeps serving. Zero disables per-principal
+	// accounting. The paper's composition is per user, so this cap — not
+	// the global one — is a deployment's real privacy posture.
+	PerPrincipalEpsilon float64
 	// MaxK caps top-k list sizes; 0 means 10.
 	MaxK int
 	// CacheSize enables the Recommender's utility-vector cache with this
@@ -113,8 +138,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheSize != 0 {
 		cfg.Recommender.EnableCache(cfg.CacheSize)
 	}
-	if cfg.TotalEpsilon > 0 {
-		acct, err := socialrec.NewAccountant(cfg.Recommender, cfg.TotalEpsilon)
+	if cfg.TotalEpsilon > 0 || cfg.PerPrincipalEpsilon > 0 {
+		// The server never reads the per-call audit ledger (budget
+		// introspection is served from the O(1) counters), so it runs the
+		// accountant without one: under per-principal-only budgets the
+		// ledger would otherwise grow with every admitted call forever.
+		opts := []socialrec.AccountantOption{socialrec.DisableLedger()}
+		if cfg.PerPrincipalEpsilon > 0 {
+			opts = append(opts, socialrec.PerPrincipalBudget(cfg.PerPrincipalEpsilon))
+		}
+		acct, err := socialrec.NewAccountant(cfg.Recommender, cfg.TotalEpsilon, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("recserver: %w", err)
 		}
@@ -184,6 +217,11 @@ type healthResponse struct {
 	// cache counters these are aggregates over pre-processing and reveal
 	// nothing about individual edges.
 	Live *socialrec.LiveStats `json:"live,omitempty"`
+	// Budget reports the global accounting scope (spend, calls, principal
+	// count); omitted when budgeting is disabled. The gauges are
+	// deployment-wide aggregates; per-principal spend is only exposed via
+	// the explicit /v1/budget?target= query.
+	Budget *budgetResponse `json:"budget,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -193,6 +231,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if st, ok := s.rec.LiveStats(); ok {
 		resp.Live = &st
+	}
+	if s.acct != nil {
+		b := s.globalBudget()
+		resp.Budget = &b
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -271,10 +313,26 @@ func (s *Server) recommendTopK(target, k int) ([]socialrec.Recommendation, error
 	return s.rec.RecommendTopK(target, k)
 }
 
+// retryAfterSeconds is the advisory Retry-After on budget refusals.
+// Privacy budgets never replenish on their own, so there is no honest
+// retry time; the header exists so well-behaved clients back off instead
+// of hammering an exhausted scope while the operator raises limits or
+// rotates the deployment epoch.
+const retryAfterSeconds = 3600
+
 func (s *Server) writeRecommendError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, socialrec.ErrBudgetExhausted):
-		s.writeError(w, http.StatusTooManyRequests, "privacy budget exhausted")
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		msg := "privacy budget exhausted"
+		var be *socialrec.BudgetError
+		if errors.As(err, &be) {
+			w.Header().Set("X-Budget-Remaining", strconv.FormatFloat(be.Remaining(), 'g', -1, 64))
+			if be.Principal != "" {
+				msg = "privacy budget exhausted for principal " + be.Principal
+			}
+		}
+		s.writeError(w, http.StatusTooManyRequests, msg)
 	case errors.Is(err, socialrec.ErrBadTarget):
 		s.writeError(w, http.StatusNotFound, "unknown target node")
 	case errors.Is(err, socialrec.ErrNoCandidates):
@@ -423,11 +481,46 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// budgetResponse is the global scope, served on GET /v1/budget and as the
+// "budget" gauge block of /healthz. Remaining is a pointer so an uncapped
+// scope omits it instead of encoding +Inf (which JSON cannot represent).
 type budgetResponse struct {
-	Total     float64 `json:"total"`
-	Spent     float64 `json:"spent"`
-	Remaining float64 `json:"remaining"`
-	Calls     int     `json:"calls"`
+	Total        float64  `json:"total"` // 0 = uncapped
+	Spent        float64  `json:"spent"`
+	Remaining    *float64 `json:"remaining,omitempty"`
+	Calls        int      `json:"calls"`
+	PerPrincipal float64  `json:"per_principal_limit,omitempty"` // 0 = none
+	Principals   int      `json:"principals,omitempty"`
+}
+
+// principalBudgetResponse is one principal's scope, served on
+// GET /v1/budget?target=N.
+type principalBudgetResponse struct {
+	Target    int      `json:"target"`
+	Principal string   `json:"principal"`
+	Limit     float64  `json:"limit"` // 0 = uncapped
+	Spent     float64  `json:"spent"`
+	Remaining *float64 `json:"remaining,omitempty"`
+	Calls     int64    `json:"calls"`
+}
+
+// finiteOrNil drops the +Inf an uncapped scope reports as "remaining".
+func finiteOrNil(v float64) *float64 {
+	if math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+func (s *Server) globalBudget() budgetResponse {
+	return budgetResponse{
+		Total:        s.acct.Total(),
+		Spent:        s.acct.Spent(),
+		Remaining:    finiteOrNil(s.acct.Remaining()),
+		Calls:        s.acct.Calls(),
+		PerPrincipal: s.acct.PerPrincipalLimit(),
+		Principals:   s.acct.Principals(),
+	}
 }
 
 func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
@@ -435,10 +528,22 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, "budgeting disabled")
 		return
 	}
-	s.writeJSON(w, http.StatusOK, budgetResponse{
-		Total:     s.acct.Total(),
-		Spent:     s.acct.Spent(),
-		Remaining: s.acct.Remaining(),
-		Calls:     len(s.acct.Ledger()),
-	})
+	if r.URL.Query().Has("target") {
+		target, err := s.targetParam(r)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		st := s.acct.TargetStats(target)
+		s.writeJSON(w, http.StatusOK, principalBudgetResponse{
+			Target:    target,
+			Principal: st.Principal,
+			Limit:     st.Limit,
+			Spent:     st.Spent,
+			Remaining: finiteOrNil(st.Remaining),
+			Calls:     st.Calls,
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.globalBudget())
 }

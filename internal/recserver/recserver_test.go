@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"socialrec"
@@ -135,6 +136,163 @@ func TestBudgetEnforcement(t *testing.T) {
 	}
 	if body["spent"].(float64) != 2 || body["calls"].(float64) != 2 {
 		t.Errorf("budget body %v", body)
+	}
+}
+
+// perUserServer builds a server with a per-principal cap and returns two
+// distinct servable targets.
+func perUserServer(t *testing.T, total, perUser float64) (*Server, int, int) {
+	t.Helper()
+	g, err := socialrec.GenerateSocialGraph(400, 3000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := socialrec.NewRecommender(g, socialrec.WithEpsilon(1), socialrec.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Recommender:         rec,
+		TotalEpsilon:        total,
+		PerPrincipalEpsilon: perUser,
+		Logf:                t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var servable []int
+	for v := 0; v < g.NumNodes() && len(servable) < 2; v++ {
+		if _, err := rec.ExpectedAccuracy(v); err == nil {
+			servable = append(servable, v)
+		}
+	}
+	if len(servable) < 2 {
+		t.Fatal("need two servable targets")
+	}
+	return srv, servable[0], servable[1]
+}
+
+// TestPerPrincipalBudget429 exercises the per-user cap: the exhausted
+// target gets 429 with the throttling headers while another target keeps
+// serving — exhaustion is per principal, never deployment-wide.
+func TestPerPrincipalBudget429(t *testing.T) {
+	srv, hot, cold := perUserServer(t, 0, 2)
+	for i := 0; i < 2; i++ {
+		if w, _ := get(t, srv, "/v1/recommend?target="+itoa(hot)); w.Code != http.StatusOK {
+			t.Fatalf("call %d within per-user budget: %d", i, w.Code)
+		}
+	}
+	w, body := get(t, srv, "/v1/recommend?target="+itoa(hot))
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("exhausted principal: status %d %v", w.Code, body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After header")
+	}
+	if got := w.Header().Get("X-Budget-Remaining"); got != "0" {
+		t.Errorf("X-Budget-Remaining = %q, want \"0\"", got)
+	}
+	// Independence: the other principal still serves.
+	if w, body := get(t, srv, "/v1/recommend?target="+itoa(cold)); w.Code != http.StatusOK {
+		t.Errorf("cold principal refused after hot exhausted: %d %v", w.Code, body)
+	}
+}
+
+func TestBudgetIntrospectionPerTarget(t *testing.T) {
+	srv, hot, cold := perUserServer(t, 0, 5)
+	get(t, srv, "/v1/recommend?target="+itoa(hot))
+	get(t, srv, "/v1/recommend?target="+itoa(hot))
+
+	w, body := get(t, srv, "/v1/budget?target="+itoa(hot))
+	if w.Code != http.StatusOK {
+		t.Fatalf("budget introspection: %d %v", w.Code, body)
+	}
+	if body["principal"] != itoa(hot) || body["limit"].(float64) != 5 ||
+		body["spent"].(float64) != 2 || body["remaining"].(float64) != 3 ||
+		body["calls"].(float64) != 2 {
+		t.Errorf("hot principal budget: %v", body)
+	}
+	// An unseen target reports its full budget, not an error.
+	w, body = get(t, srv, "/v1/budget?target="+itoa(cold))
+	if w.Code != http.StatusOK || body["spent"].(float64) != 0 || body["remaining"].(float64) != 5 {
+		t.Errorf("unseen principal budget: %d %v", w.Code, body)
+	}
+	if w, _ := get(t, srv, "/v1/budget?target=abc"); w.Code != http.StatusBadRequest {
+		t.Errorf("invalid target: %d", w.Code)
+	}
+	// Global scope: uncapped total omits "remaining" (it would be +Inf).
+	w, body = get(t, srv, "/v1/budget")
+	if w.Code != http.StatusOK {
+		t.Fatalf("global budget: %d", w.Code)
+	}
+	if _, present := body["remaining"]; present {
+		t.Errorf("uncapped global budget reports remaining: %v", body)
+	}
+	if body["per_principal_limit"].(float64) != 5 || body["principals"].(float64) != 1 ||
+		body["spent"].(float64) != 2 || body["calls"].(float64) != 2 {
+		t.Errorf("global budget gauges: %v", body)
+	}
+}
+
+func TestHealthReportsBudgetGauges(t *testing.T) {
+	srv, _, target := testServer(t, 100)
+	get(t, srv, "/v1/recommend?target="+itoa(target))
+	_, body := get(t, srv, "/healthz")
+	gauges, ok := body["budget"].(map[string]any)
+	if !ok {
+		t.Fatalf("no budget gauges on /healthz: %v", body)
+	}
+	if gauges["total"].(float64) != 100 || gauges["spent"].(float64) != 1 ||
+		gauges["remaining"].(float64) != 99 || gauges["calls"].(float64) != 1 {
+		t.Errorf("budget gauges: %v", gauges)
+	}
+	// No budgeting, no gauges.
+	unbudgeted, _, _ := testServer(t, 0)
+	if _, body := get(t, unbudgeted, "/healthz"); body["budget"] != nil {
+		t.Errorf("unbudgeted server reports budget gauges: %v", body)
+	}
+}
+
+// TestConcurrentPerPrincipal429 hammers one principal's exhaustion
+// boundary from parallel goroutines: exactly cap successes win whatever
+// the interleaving, and the other principal's budget is untouched by the
+// storm.
+func TestConcurrentPerPrincipal429(t *testing.T) {
+	srv, hot, cold := perUserServer(t, 0, 3)
+	var hotOK, hot429 atomic.Int64
+	var wg sync.WaitGroup
+	for worker := 0; worker < 8; worker++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				req := httptest.NewRequest(http.MethodGet, "/v1/recommend?target="+itoa(hot), nil)
+				w := httptest.NewRecorder()
+				srv.ServeHTTP(w, req)
+				switch w.Code {
+				case http.StatusOK:
+					hotOK.Add(1)
+				case http.StatusTooManyRequests:
+					hot429.Add(1)
+				default:
+					t.Errorf("hot: status %d", w.Code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if hotOK.Load() != 3 {
+		t.Errorf("hot principal: %d successes on a budget of 3", hotOK.Load())
+	}
+	if hotOK.Load()+hot429.Load() != 80 {
+		t.Errorf("hot responses don't add up: %d OK + %d 429", hotOK.Load(), hot429.Load())
+	}
+	// The cold principal's budget is fully intact after the storm.
+	for i := 0; i < 3; i++ {
+		if w, body := get(t, srv, "/v1/recommend?target="+itoa(cold)); w.Code != http.StatusOK {
+			t.Fatalf("cold call %d after hot exhaustion: %d %v", i, w.Code, body)
+		}
 	}
 }
 
