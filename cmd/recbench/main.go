@@ -37,7 +37,7 @@ func main() {
 		sweep      = flag.Bool("sweep", false, "run the epsilon sweep ablation instead of the figures")
 		compare    = flag.Bool("compare", false, "run the §7.2 Laplace-vs-Exponential comparison table")
 		servebench = flag.String("servebench", "", "run the serving benchmark and write a perf snapshot to this file (e.g. BENCH_serve.json)")
-		quick      = flag.Bool("quick", false, "with -servebench: CI smoke mode — skip the 500k-node scenario and fail if the sparse uncached path is slower than dense or the sharded accountant slower than the global lock")
+		quick      = flag.Bool("quick", false, "with -servebench: CI smoke mode — skip the 500k-node scenario and fail if the sparse uncached path is slower than dense, the sharded accountant slower than the global lock, or the batch API slower than a sequential loop")
 	)
 	flag.Parse()
 

@@ -8,6 +8,7 @@
 //	recserve -snapshot social.srsnap -store mmap
 //	recserve -graph social.txt -live -rebuild-interval 100ms -max-pending 1024
 //	recserve -snapshot social.srsnap -live -persist-snapshot social.srsnap
+//	recserve -graph social.txt -live -wal-dir wal/ -fsync always
 //
 // Endpoints:
 //
@@ -54,6 +55,22 @@
 // respect to the snapshot that produced it and the privacy budget
 // accounting is unchanged.
 //
+// Durability: -wal-dir journals every accepted mutation to a checksummed
+// write-ahead log before the HTTP response acknowledges it, and replays
+// the log on restart, so even kill -9 loses no acknowledged writes
+// (-fsync always; "interval" trades up to ~50ms of OS-crash durability
+// for latency). Combine with -persist-snapshot to bound the log: once a
+// persisted snapshot durably covers a log prefix, those segments are
+// reclaimed.
+//
+// Robustness: handler panics are recovered to 500s (counted on
+// /healthz), each request gets a -request-timeout deadline, and beyond
+// -max-inflight concurrent requests the server sheds load with immediate
+// 503 + Retry-After instead of queueing without bound. When a subsystem
+// (WAL, snapshot persistence, rebuilds) fails persistently the server
+// degrades instead of dying: /healthz reports status "degraded" with the
+// failing subsystem, and reads keep serving from the last good snapshot.
+//
 // On SIGINT/SIGTERM the server shuts down gracefully: the listener closes,
 // in-flight requests drain (up to -drain-timeout), the live rebuilder stops,
 // and only then is the snapshot mapping released.
@@ -96,7 +113,11 @@ func main() {
 		interval  = flag.Duration("rebuild-interval", socialrec.DefaultRebuildInterval, "debounce interval for folding mutations into the serving snapshot (with -live)")
 		maxPend   = flag.Int("max-pending", socialrec.DefaultMaxPendingDeltas, "pending mutations that force an immediate snapshot rebuild (with -live)")
 		persist   = flag.String("persist-snapshot", "", "atomically persist every swapped snapshot to this .srsnap path (with -live)")
+		walDir    = flag.String("wal-dir", "", "journal every mutation to a write-ahead log in this directory before acknowledging; replayed on restart (implies -live)")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy: always (survives power loss), interval (survives process crash), off (with -wal-dir)")
 		drain     = flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests")
+		reqTO     = flag.Duration("request-timeout", 10*time.Second, "per-request handler deadline; exceeded requests get 503 (0 disables)")
+		maxInFly  = flag.Int("max-inflight", 256, "max concurrently handled requests before shedding with 503 (0 disables)")
 		pprofFlag = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof (expose only to operators)")
 	)
 	flag.Parse()
@@ -134,6 +155,9 @@ func main() {
 		socialrec.WithMechanism(kind),
 		socialrec.WithSeed(s),
 	}
+	if *walDir != "" {
+		*live = true // journaled mutations require the mutation API
+	}
 	if *live {
 		opts = append(opts,
 			socialrec.WithRebuildInterval(*interval),
@@ -142,6 +166,13 @@ func main() {
 	}
 	if *persist != "" {
 		opts = append(opts, socialrec.WithSnapshotPersist(*persist))
+	}
+	if *walDir != "" {
+		mode, err := socialrec.ParseFsyncMode(*fsync)
+		if err != nil {
+			log.Fatalf("recserve: %v", err)
+		}
+		opts = append(opts, socialrec.WithWAL(*walDir), socialrec.WithWALSync(mode))
 	}
 
 	loadStart := time.Now()
@@ -177,6 +208,8 @@ func main() {
 		PerPrincipalEpsilon: *perUser,
 		CacheSize:           *cache,
 		EnablePprof:         *pprofFlag,
+		HandlerTimeout:      *reqTO,
+		MaxInFlight:         *maxInFly,
 	})
 	if err != nil {
 		log.Fatalf("recserve: %v", err)

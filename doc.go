@@ -183,6 +183,51 @@
 // pre-processing from an old graph is never mixed into answers over a new
 // one.
 //
+// # Durability and failure model
+//
+// A live Recommender's delta log and serving snapshots live in process
+// memory, so by default a crash loses every mutation since the last
+// persisted snapshot. WithWAL closes that window with a write-ahead log:
+// every accepted mutation is journaled to a segmented, length-prefixed,
+// CRC-32-checksummed on-disk log before it is applied or acknowledged.
+// The ack contract is exact — AddEdge, RemoveEdge, and AddNode return nil
+// only after the record is in the WAL (and, under the default fsync
+// policy, on stable storage), and an append failure vetoes the mutation
+// entirely: it is rolled back from the mutable graph and never becomes
+// pending, so the WAL can never hold less than the acknowledged state.
+// On reopen, the log replays onto the initial graph or the newest
+// persisted snapshot; replay is idempotent (records a snapshot already
+// covers skip as no-ops), tolerates torn tails (a partial or corrupt
+// final frame — the debris of an append interrupted mid-write — is
+// truncated, and nothing past the first bad checksum is ever replayed),
+// and converges to a graph bit-identical to the acknowledged pre-crash
+// state. Once a snapshot persists durably, the WAL segments it covers are
+// deleted, bounding log growth.
+//
+// WithWALSync picks the durability/latency trade: FsyncAlways (default)
+// fsyncs before every acknowledgment, so kill -9 and power loss lose
+// zero acknowledged mutations; FsyncInterval batches fsyncs on a short
+// timer, surviving process crashes but risking the last interval on
+// power loss; FsyncOff leaves flushing to the OS.
+//
+// Failures past the ack point degrade instead of killing serving. Snapshot
+// persistence and rebuilds retry with bounded exponential backoff; when
+// retries exhaust, the Recommender keeps serving the last good snapshot
+// and reports the failing subsystem via Degraded and LiveStats (recserver
+// surfaces it as "status": "degraded" on /healthz), clearing the flag on
+// the next success. A failed incremental rebuild falls back to a full
+// rebuild from the mutable graph, which still holds every acknowledged
+// mutation.
+//
+// Why the WAL is DP-safe: the log records accepted graph mutations —
+// pre-noise input state, exactly what the mutable graph already holds —
+// and replay is pure pre-processing that reconstructs the input graph
+// before any mechanism draw. No released output, no noise, and no budget
+// state flows through the WAL, so recovery neither replays nor re-releases
+// anything the composition analysis counts; recommendations served after
+// recovery draw fresh noise against the recovered snapshot exactly as if
+// the process had never died.
+//
 // # Storage layer
 //
 // Everything above the graph package serves from a narrow read-only

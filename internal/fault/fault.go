@@ -1,0 +1,223 @@
+// Package fault is a lightweight failpoint layer for crash and
+// degradation testing. Production code threads named injection sites
+// through its failure-prone paths (WAL appends, snapshot persists, fsync
+// calls); tests arm those sites with error returns, partial writes, or
+// added latency and then assert the system degrades instead of dying.
+//
+// Nothing fires unless a test arms a site: the disarmed fast path is one
+// atomic load (Active), so leaving the hooks compiled into production
+// binaries costs roughly a branch per site. The package is not imported by
+// any main-path decision logic — failpoints can only make operations fail,
+// never change what a successful operation does — so arming them cannot
+// alter the serving semantics they are testing.
+//
+// Sites are plain strings owned by the package that calls Inject; by
+// convention they are "subsystem.operation" ("wal.append",
+// "snapshot.persist"). Arm from a test with:
+//
+//	fault.Arm("wal.append", fault.Config{Mode: fault.Error, Prob: 0.25, Seed: 1})
+//	defer fault.Reset()
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects what an armed failpoint does when it fires.
+type Mode int
+
+const (
+	// Error makes Inject return the configured error.
+	Error Mode = iota
+	// PartialWrite makes Writer-wrapped writers accept only the first
+	// Limit bytes of the current write before returning the configured
+	// error; Inject itself does not fire for PartialWrite sites.
+	PartialWrite
+	// Latency makes Inject sleep for Delay and then succeed.
+	Latency
+)
+
+// Config arms one failpoint.
+type Config struct {
+	Mode Mode
+	// Err is the error returned when the point fires; nil uses ErrInjected.
+	Err error
+	// Prob is the firing probability per evaluation; 0 means always fire.
+	Prob float64
+	// Seed seeds the per-site RNG used for probabilistic firing, so tests
+	// replay deterministically. Ignored when Prob is 0.
+	Seed int64
+	// Count caps how many times the point fires before disarming itself;
+	// 0 means unlimited.
+	Count int
+	// Limit is the byte budget of a PartialWrite firing.
+	Limit int
+	// Delay is the sleep of a Latency firing.
+	Delay time.Duration
+}
+
+// ErrInjected is the default error of a fired failpoint.
+var ErrInjected = errors.New("fault: injected failure")
+
+type point struct {
+	cfg   Config
+	rng   *rand.Rand
+	left  int // remaining firings when cfg.Count > 0
+	fired uint64
+}
+
+var (
+	// active is the number of armed sites; the disarmed fast path in
+	// Inject and Writer is a single load of it.
+	active atomic.Int32
+
+	mu     sync.Mutex
+	points map[string]*point
+)
+
+// Arm installs (or replaces) the failpoint at site.
+func Arm(site string, cfg Config) {
+	mu.Lock()
+	defer mu.Unlock()
+	if points == nil {
+		points = make(map[string]*point)
+	}
+	p := &point{cfg: cfg, left: cfg.Count}
+	if cfg.Prob > 0 {
+		p.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	if _, ok := points[site]; !ok {
+		active.Add(1)
+	}
+	points[site] = p
+}
+
+// Disarm removes the failpoint at site, if armed.
+func Disarm(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[site]; ok {
+		delete(points, site)
+		active.Add(-1)
+	}
+}
+
+// Reset disarms every failpoint. Tests defer it after arming.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	active.Add(-int32(len(points)))
+	points = nil
+}
+
+// Fired returns how many times the site has fired since it was armed (0
+// when never armed).
+func Fired(site string) uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[site]; ok {
+		return p.fired
+	}
+	return 0
+}
+
+// Active reports whether any failpoint is armed. Exposed so callers with
+// per-byte hot loops can hoist the check.
+func Active() bool { return active.Load() > 0 }
+
+// fire evaluates the site and returns its config when it fires.
+func fire(site string, want Mode) (Config, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	p, ok := points[site]
+	if !ok || p.cfg.Mode != want {
+		return Config{}, false
+	}
+	if p.rng != nil && p.rng.Float64() >= p.cfg.Prob {
+		return Config{}, false
+	}
+	if p.cfg.Count > 0 {
+		if p.left == 0 {
+			return Config{}, false
+		}
+		p.left--
+	}
+	p.fired++
+	return p.cfg, true
+}
+
+// Inject evaluates the failpoint at site: nil when disarmed or when a
+// probabilistic point does not fire; the configured error for Error
+// points; a Delay-long sleep then nil for Latency points.
+func Inject(site string) error {
+	if active.Load() == 0 {
+		return nil
+	}
+	if cfg, ok := fire(site, Latency); ok {
+		time.Sleep(cfg.Delay)
+		return nil
+	}
+	cfg, ok := fire(site, Error)
+	if !ok {
+		return nil
+	}
+	if cfg.Err != nil {
+		return fmt.Errorf("%s: %w", site, cfg.Err)
+	}
+	return fmt.Errorf("%s: %w", site, ErrInjected)
+}
+
+// Writer wraps w with the PartialWrite failpoint at site. When the site
+// is disarmed the original writer is returned unchanged, so the wrapper
+// costs nothing in production. When armed, each Write evaluates the
+// point; a firing accepts at most Limit bytes and returns the configured
+// error — the short-write shape a crashed disk or full filesystem
+// produces.
+func Writer(site string, w io.Writer) io.Writer {
+	if active.Load() == 0 {
+		return w
+	}
+	mu.Lock()
+	p, armed := points[site]
+	armed = armed && p.cfg.Mode == PartialWrite
+	mu.Unlock()
+	if !armed {
+		return w
+	}
+	return &faultWriter{site: site, w: w}
+}
+
+type faultWriter struct {
+	site string
+	w    io.Writer
+}
+
+func (fw *faultWriter) Write(b []byte) (int, error) {
+	cfg, ok := fire(fw.site, PartialWrite)
+	if !ok {
+		return fw.w.Write(b)
+	}
+	limit := cfg.Limit
+	if limit > len(b) {
+		limit = len(b)
+	}
+	n := 0
+	if limit > 0 {
+		var err error
+		n, err = fw.w.Write(b[:limit])
+		if err != nil {
+			return n, err
+		}
+	}
+	err := cfg.Err
+	if err == nil {
+		err = ErrInjected
+	}
+	return n, fmt.Errorf("%s: %w", fw.site, err)
+}

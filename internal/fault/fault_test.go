@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedInjectIsNil(t *testing.T) {
+	if err := Inject("never.armed"); err != nil {
+		t.Fatalf("disarmed Inject = %v, want nil", err)
+	}
+	if Active() {
+		t.Fatal("Active() with nothing armed")
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	defer Reset()
+	Arm("x.err", Config{Mode: Error})
+	if !Active() {
+		t.Fatal("Active() false after Arm")
+	}
+	err := Inject("x.err")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Inject = %v, want ErrInjected", err)
+	}
+	if got := Fired("x.err"); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+	Disarm("x.err")
+	if err := Inject("x.err"); err != nil {
+		t.Fatalf("Inject after Disarm = %v", err)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("disk on fire")
+	Arm("x.custom", Config{Mode: Error, Err: sentinel})
+	if err := Inject("x.custom"); !errors.Is(err, sentinel) {
+		t.Fatalf("Inject = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestCountLimit(t *testing.T) {
+	defer Reset()
+	Arm("x.count", Config{Mode: Error, Count: 2})
+	for i := 0; i < 2; i++ {
+		if err := Inject("x.count"); err == nil {
+			t.Fatalf("firing %d: nil error", i)
+		}
+	}
+	if err := Inject("x.count"); err != nil {
+		t.Fatalf("after Count firings: %v, want nil", err)
+	}
+	if got := Fired("x.count"); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+}
+
+func TestProbabilisticFiringIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		defer Reset()
+		Arm("x.prob", Config{Mode: Error, Prob: 0.5, Seed: 42})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Inject("x.prob") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("firing %d differs across identically-seeded runs", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d times; want a mix", fired, len(a))
+	}
+}
+
+func TestPartialWriteWriter(t *testing.T) {
+	defer Reset()
+	var buf bytes.Buffer
+	// Disarmed: Writer returns the original writer.
+	if w := Writer("x.pw", &buf); w != &buf {
+		t.Fatal("disarmed Writer did not return the original writer")
+	}
+	Arm("x.pw", Config{Mode: PartialWrite, Limit: 3, Count: 1})
+	w := Writer("x.pw", &buf)
+	n, err := w.Write([]byte("hello world"))
+	if n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial write = (%d, %v), want (3, ErrInjected)", n, err)
+	}
+	if buf.String() != "hel" {
+		t.Fatalf("buffer = %q, want %q", buf.String(), "hel")
+	}
+	// Count exhausted: subsequent writes pass through.
+	n, err = w.Write([]byte("lo"))
+	if n != 2 || err != nil {
+		t.Fatalf("post-count write = (%d, %v), want (2, nil)", n, err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	defer Reset()
+	Arm("x.slow", Config{Mode: Latency, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Inject("x.slow"); err != nil {
+		t.Fatalf("latency Inject = %v, want nil", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("latency firing took %v, want >= ~20ms", d)
+	}
+}
+
+func TestArmReplaces(t *testing.T) {
+	defer Reset()
+	Arm("x.re", Config{Mode: Error, Count: 1})
+	_ = Inject("x.re")
+	Arm("x.re", Config{Mode: Error, Count: 1})
+	if err := Inject("x.re"); err == nil {
+		t.Fatal("re-armed point did not fire")
+	}
+}

@@ -44,9 +44,28 @@ type Delta struct {
 // The wrapper takes ownership of the graph passed to NewMutable; callers
 // must not mutate it directly afterwards.
 type MutableGraph struct {
-	mu  sync.RWMutex
-	g   *Graph
-	log []Delta
+	mu      sync.RWMutex
+	g       *Graph
+	log     []Delta
+	journal JournalFunc
+}
+
+// JournalFunc receives each accepted mutation before it is acknowledged,
+// inside the mutation critical section. Returning an error vetoes the
+// mutation: the graph change is rolled back (edges) or never applied
+// (nodes), nothing is appended to the delta log, and the error is
+// returned to the mutator. Write-ahead logging hooks in here — a mutation
+// is in the delta log if and only if its journal call succeeded, so the
+// log and the external journal always agree record-for-record.
+type JournalFunc func(Delta) error
+
+// SetJournal installs fn as the mutation journal (nil to remove). It must
+// be called before mutations begin; installing it mid-stream would leave
+// earlier mutations unjournaled.
+func (m *MutableGraph) SetJournal(fn JournalFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.journal = fn
 }
 
 // NewMutable wraps g, taking ownership of it.
@@ -63,6 +82,14 @@ func (m *MutableGraph) AddEdge(u, v int) error {
 	if err := m.g.AddEdge(u, v); err != nil {
 		return err
 	}
+	if m.journal != nil {
+		if err := m.journal(Delta{Op: DeltaAddEdge, From: u, To: v}); err != nil {
+			// Roll back so the graph never holds a mutation the journal
+			// rejected; the inverse cannot fail on an edge just added.
+			m.g.RemoveEdge(u, v) //nolint:errcheck
+			return err
+		}
+	}
 	m.log = append(m.log, Delta{Op: DeltaAddEdge, From: u, To: v})
 	return nil
 }
@@ -74,18 +101,32 @@ func (m *MutableGraph) RemoveEdge(u, v int) error {
 	if err := m.g.RemoveEdge(u, v); err != nil {
 		return err
 	}
+	if m.journal != nil {
+		if err := m.journal(Delta{Op: DeltaRemoveEdge, From: u, To: v}); err != nil {
+			m.g.AddEdge(u, v) //nolint:errcheck // re-adding a just-removed edge cannot fail
+			return err
+		}
+	}
 	m.log = append(m.log, Delta{Op: DeltaRemoveEdge, From: u, To: v})
 	return nil
 }
 
 // AddNode appends a new isolated node, journals the delta, and returns the
-// new node's ID.
-func (m *MutableGraph) AddNode() int {
+// new node's ID. The only possible error is a journal veto; node addition
+// itself cannot fail. The journal is consulted before the node is
+// materialized because node removal has no inverse to roll back with.
+func (m *MutableGraph) AddNode() (int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	id := m.g.AddNode()
+	id := m.g.NumNodes()
+	if m.journal != nil {
+		if err := m.journal(Delta{Op: DeltaAddNode, From: id}); err != nil {
+			return 0, err
+		}
+	}
+	m.g.AddNode()
 	m.log = append(m.log, Delta{Op: DeltaAddNode, From: id})
-	return id
+	return id, nil
 }
 
 // Pending returns the number of journaled deltas not yet drained.

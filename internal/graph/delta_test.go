@@ -27,7 +27,7 @@ func applyScript(m *MutableGraph, script []byte) int {
 				applied++
 			}
 		case 5:
-			m.AddNode()
+			m.AddNode() //nolint:errcheck // no journal installed
 			applied++
 		default: // toggle
 			var err error
@@ -100,7 +100,10 @@ func TestPatchAddNodeGrowsSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	base, _ := m.SnapshotAndDrain()
-	id := m.AddNode()
+	id, err := m.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if id != 2 {
 		t.Fatalf("AddNode = %d, want 2", id)
 	}

@@ -10,6 +10,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+
+	"socialrec/internal/fault"
 )
 
 // Binary snapshot codec: the .srsnap format persists a CSR snapshot as four
@@ -386,13 +388,16 @@ func ReadSnapshotFile(path string) (*CSR, error) {
 // over the destination, so readers (and a crash mid-write) only ever
 // observe either the old complete snapshot or the new one.
 func WriteSnapshotFile(path string, s Store) error {
+	if err := fault.Inject("snapshot.persist"); err != nil {
+		return err
+	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := WriteSnapshot(tmp, s); err != nil {
+	if err := WriteSnapshot(fault.Writer("snapshot.write", tmp), s); err != nil {
 		tmp.Close()
 		return err
 	}

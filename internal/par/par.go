@@ -62,6 +62,56 @@ func ForEach(n int, fn func(i int)) {
 	}
 }
 
+// ForEachChunked partitions 0..n-1 into one contiguous half-open range per
+// worker and calls fn(lo, hi) for each range. Compared with ForEach it
+// trades work stealing for scheduling cost: there is one goroutine and one
+// closure call per worker instead of one channel round-trip per index, and
+// each worker writes a contiguous span of the caller's result slice, so it
+// is the right shape for uniform per-item work like batch serving. fn must
+// be safe for concurrent invocation; with one usable CPU it degenerates to
+// a single fn(0, n) call on the caller's goroutine.
+//
+// Panic safety matches ForEach: the first panic value from any chunk is
+// re-raised on the caller's goroutine once every chunk has finished.
+func ForEachChunked(n int, fn func(lo, hi int)) {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var (
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicVal  any
+	)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicOnce.Do(func() { panicVal = p })
+				}
+			}()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
 // Map computes fn(0..n-1) on the ForEach pool and returns the results in
 // index order.
 func Map[T any](n int, fn func(i int) T) []T {

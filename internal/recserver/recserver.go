@@ -67,7 +67,10 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"socialrec"
 )
@@ -107,6 +110,17 @@ type Config struct {
 	EnablePprof bool
 	// Logf receives request logs; nil means log.Printf.
 	Logf func(format string, args ...any)
+	// HandlerTimeout bounds each request's handling time: a request still
+	// running when it elapses gets 503 and its context is canceled, so a
+	// single stuck request cannot pin a connection forever. Zero disables
+	// the deadline (recserve's -request-timeout flag default is 10s).
+	HandlerTimeout time.Duration
+	// MaxInFlight caps concurrently handled requests. Excess requests are
+	// shed immediately with 503 + Retry-After instead of queueing without
+	// bound — under overload, fast refusal keeps the server answering
+	// (and /healthz, which is exempt, keeps reporting). Zero disables
+	// shedding.
+	MaxInFlight int
 }
 
 // Server handles recommendation requests. Create with New; safe for
@@ -117,6 +131,15 @@ type Server struct {
 	maxK   int
 	logf   func(format string, args ...any)
 	routes *http.ServeMux
+	// handler is routes wrapped in the per-request deadline (when
+	// configured); ServeHTTP adds panic recovery and load shedding
+	// outside it.
+	handler http.Handler
+	// inflight is the load-shedding gate (nil when MaxInFlight is 0):
+	// a buffered channel used as a counting semaphore.
+	inflight chan struct{}
+	panics   atomic.Uint64
+	shed     atomic.Uint64
 }
 
 // New validates the config and builds the server.
@@ -179,12 +202,44 @@ func New(cfg Config) (*Server, error) {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	s.routes = mux
+	s.handler = mux
+	if cfg.HandlerTimeout > 0 {
+		// TimeoutHandler cancels the request context at the deadline and
+		// answers 503; panics in the handler goroutine are re-raised in the
+		// caller, so the recovery in ServeHTTP still sees them.
+		s.handler = http.TimeoutHandler(mux, cfg.HandlerTimeout, `{"error":"request deadline exceeded"}`)
+	}
+	if cfg.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInFlight)
+	}
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: panic recovery outermost (a bug in
+// one request must never take down the process), then the load-shedding
+// gate, then the per-request deadline, then routing.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.routes.ServeHTTP(w, r)
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Add(1)
+			s.logf("recserver: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			// If the handler already wrote headers this is a logged no-op;
+			// either way the connection is not torn down by the panic.
+			s.writeError(w, http.StatusInternalServerError, "internal error")
+		}
+	}()
+	if s.inflight != nil && r.URL.Path != "/healthz" {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, "server overloaded, request shed")
+			return
+		}
+	}
+	s.handler.ServeHTTP(w, r)
 }
 
 type errorBody struct {
@@ -204,7 +259,17 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 }
 
 type healthResponse struct {
+	// Status is "ok", or "degraded" when a Recommender subsystem (WAL,
+	// snapshot persistence, rebuilds) is persistently failing — the
+	// server keeps serving from its last good snapshot either way.
 	Status string `json:"status"`
+	// Degraded maps failing subsystems to their last error; present only
+	// when Status is "degraded".
+	Degraded map[string]string `json:"degraded,omitempty"`
+	// PanicsRecovered counts handler panics converted to 500s;
+	// RequestsShed counts requests refused by the MaxInFlight gate.
+	PanicsRecovered uint64 `json:"panics_recovered"`
+	RequestsShed    uint64 `json:"requests_shed"`
 	// SnapshotVersion is the epoch of the graph snapshot serving reads; it
 	// increments on every snapshot rebuild.
 	SnapshotVersion uint64 `json:"snapshot_version"`
@@ -225,7 +290,16 @@ type healthResponse struct {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	resp := healthResponse{Status: "ok", SnapshotVersion: s.rec.SnapshotVersion()}
+	resp := healthResponse{
+		Status:          "ok",
+		SnapshotVersion: s.rec.SnapshotVersion(),
+		PanicsRecovered: s.panics.Load(),
+		RequestsShed:    s.shed.Load(),
+	}
+	if deg := s.rec.Degraded(); len(deg) > 0 {
+		resp.Status = "degraded"
+		resp.Degraded = deg
+	}
 	if st, ok := s.rec.CacheStats(); ok {
 		resp.Cache = &st
 	}

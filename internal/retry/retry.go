@@ -1,0 +1,101 @@
+// Package retry implements bounded exponential backoff for the serving
+// tier's failure-prone side effects: snapshot persists, WAL maintenance,
+// and rebuilds. The policy is deliberately bounded — a persistently failing
+// subsystem must surface as degraded state (so operators see it on
+// /healthz) rather than retry forever and silently wedge a goroutine.
+package retry
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Policy describes one bounded exponential-backoff schedule. The zero
+// value is not useful; start from Default.
+type Policy struct {
+	// MaxAttempts is the total number of tries, including the first.
+	MaxAttempts int
+	// BaseDelay is the wait after the first failure.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+	// Multiplier scales the delay after each failure (2 when <= 1).
+	Multiplier float64
+	// Jitter is the fraction of each delay randomized away (0..1): the
+	// actual wait is d * (1 - Jitter*U) with U uniform in [0,1), so
+	// concurrent retriers decorrelate instead of thundering together.
+	Jitter float64
+	// Sleep replaces the wait primitive in tests; nil means a
+	// context-aware time.Sleep.
+	Sleep func(context.Context, time.Duration) error
+}
+
+// Default is the serving tier's persist/rebuild schedule: 4 attempts
+// spanning roughly a second, so a transient disk hiccup is ridden out but
+// a dead disk degrades the subsystem quickly.
+var Default = Policy{
+	MaxAttempts: 4,
+	BaseDelay:   25 * time.Millisecond,
+	MaxDelay:    500 * time.Millisecond,
+	Multiplier:  3,
+	Jitter:      0.2,
+}
+
+// sleepCtx waits for d or until ctx is done, returning ctx.Err() in the
+// latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Do runs op up to MaxAttempts times, backing off between failures. It
+// returns nil on the first success, ctx.Err() as soon as the context is
+// canceled, and otherwise the last op error once attempts are exhausted.
+func (p Policy) Do(ctx context.Context, op func() error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	delay := p.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if lastErr = op(); lastErr == nil {
+			return nil
+		}
+		if attempt == attempts-1 {
+			break
+		}
+		d := delay
+		if p.Jitter > 0 {
+			d = time.Duration(float64(d) * (1 - p.Jitter*rand.Float64()))
+		}
+		if d > 0 {
+			if err := sleep(ctx, d); err != nil {
+				return err
+			}
+		}
+		delay = time.Duration(float64(delay) * mult)
+		if p.MaxDelay > 0 && delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+	return lastErr
+}

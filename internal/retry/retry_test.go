@@ -1,0 +1,121 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// recordedSleeps swaps the wait primitive for a recorder so schedules are
+// asserted without wall-clock time.
+func recordedSleeps(p *Policy) *[]time.Duration {
+	var out []time.Duration
+	p.Sleep = func(_ context.Context, d time.Duration) error {
+		out = append(out, d)
+		return nil
+	}
+	return &out
+}
+
+func TestFirstTrySuccessSleepsNever(t *testing.T) {
+	p := Default
+	sleeps := recordedSleeps(&p)
+	calls := 0
+	if err := p.Do(context.Background(), func() error { calls++; return nil }); err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	if calls != 1 || len(*sleeps) != 0 {
+		t.Fatalf("calls=%d sleeps=%v, want 1 call and no sleeps", calls, *sleeps)
+	}
+}
+
+func TestExhaustionReturnsLastError(t *testing.T) {
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, Multiplier: 2}
+	sleeps := recordedSleeps(&p)
+	sentinel := errors.New("still broken")
+	calls := 0
+	err := p.Do(context.Background(), func() error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Do = %v, want sentinel", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want MaxAttempts = 3", calls)
+	}
+	if len(*sleeps) != 2 {
+		t.Fatalf("sleeps = %v, want 2 (none after the final failure)", *sleeps)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond, Multiplier: 2}
+	sleeps := recordedSleeps(&p)
+	_ = p.Do(context.Background(), func() error { return errors.New("x") })
+	want := []time.Duration{10, 20, 40, 40}
+	for i, w := range want {
+		if (*sleeps)[i] != w*time.Millisecond {
+			t.Fatalf("sleep %d = %v, want %v (all: %v)", i, (*sleeps)[i], w*time.Millisecond, *sleeps)
+		}
+	}
+}
+
+func TestJitterShrinksDelays(t *testing.T) {
+	p := Policy{MaxAttempts: 8, BaseDelay: 100 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Jitter: 0.5}
+	sleeps := recordedSleeps(&p)
+	_ = p.Do(context.Background(), func() error { return errors.New("x") })
+	varied := false
+	for _, d := range *sleeps {
+		if d > 100*time.Millisecond || d < 50*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [50ms, 100ms]", d)
+		}
+		if d != 100*time.Millisecond {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter produced no variation across 7 delays")
+	}
+}
+
+func TestContextCancelStopsRetrying(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Millisecond}
+	calls := 0
+	err := p.Do(ctx, func() error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return errors.New("x")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (cancellation observed before attempt 3)", calls)
+	}
+}
+
+func TestCanceledContextShortCircuits(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Default.Do(ctx, func() error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("Do = %v with %d calls, want Canceled and 0 calls", err, calls)
+	}
+}
+
+func TestRealSleepIsContextAware(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	p := Policy{MaxAttempts: 3, BaseDelay: 5 * time.Second}
+	start := time.Now()
+	err := p.Do(ctx, func() error { return errors.New("x") })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Do slept through the context deadline")
+	}
+}

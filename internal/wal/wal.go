@@ -1,0 +1,561 @@
+// Package wal implements the write-ahead log that makes live graph
+// mutations crash-safe. Every accepted mutation is appended as a
+// length-prefixed, CRC32-checksummed record to a segmented on-disk log
+// before the caller acknowledges it; after a crash, replaying the log onto
+// the last persisted snapshot reconstructs every acknowledged mutation.
+//
+// # Format
+//
+// A log is a directory of segment files named by the LSN (1-based log
+// sequence number) of their first record, "%016x.wal". Records never span
+// segments. Each record is framed as
+//
+//	[4 bytes LE] payload length
+//	[4 bytes LE] CRC-32 (IEEE) of the payload
+//	[payload]    1 byte op, then From and To as signed varints
+//
+// Payloads are 3..32 bytes; a frame whose length field falls outside that
+// range is corruption by definition, which is what stops replay cold on
+// zero-filled tails (length 0) without trusting any file contents.
+//
+// # Durability
+//
+// SyncAlways fsyncs after every append, so a record is durable before the
+// mutation is acknowledged — the strongest contract, and the default.
+// SyncInterval acknowledges from the OS page cache and fsyncs in the
+// background every Interval: a machine-level crash can lose up to one
+// interval of acknowledged mutations (a process-level crash loses
+// nothing). SyncOff never fsyncs explicitly. See the socialrec doc.go
+// "Durability & failure model" section for the trade-off discussion.
+//
+// # Recovery
+//
+// Open replays every segment in LSN order and tolerates exactly the
+// damage a crash can inflict: a torn or truncated tail record. Replay
+// stops at the first bad frame (bad length, short payload, checksum
+// mismatch); nothing after it is ever replayed, because record boundaries
+// downstream of a bad frame cannot be trusted. The log is then truncated
+// at the last good record so subsequent appends extend a clean tail.
+//
+// Failpoints (internal/fault): "wal.append" (error before the write),
+// "wal.write" (partial frame write), "wal.sync" (fsync failure) let tests
+// drive every failure path.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"socialrec/internal/fault"
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every append returns: no acknowledged
+	// mutation is ever lost, even to a kernel panic or power cut.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs in the background every Options.Interval: a
+	// process crash (kill -9) loses nothing — the records are in the OS
+	// page cache — but an OS-level crash can lose up to one interval of
+	// acknowledged mutations.
+	SyncInterval
+	// SyncOff never fsyncs explicitly; durability rides on the OS
+	// writeback cadence. For tests and bulk loads.
+	SyncOff
+)
+
+// String implements fmt.Stringer.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// Options configures a WAL.
+type Options struct {
+	// SegmentBytes is the rotation threshold; a segment that would exceed
+	// it is sealed and a new one started. Default 4 MiB.
+	SegmentBytes int64
+	// Policy is the fsync policy; default SyncAlways.
+	Policy SyncPolicy
+	// Interval is the background fsync cadence under SyncInterval;
+	// default 50ms.
+	Interval time.Duration
+}
+
+// Record is one journaled graph mutation. Op is opaque to the WAL; the
+// graph layer maps it to add-edge/remove-edge/add-node.
+type Record struct {
+	Op       uint8
+	From, To int64
+}
+
+// Stats is a point-in-time snapshot of the log, for /healthz.
+type Stats struct {
+	// LastLSN is the LSN of the newest record (0 when empty).
+	LastLSN uint64 `json:"last_lsn"`
+	// Segments is the number of live segment files.
+	Segments int `json:"segments"`
+	// TruncatedSegments counts segment files deleted by TruncateTo.
+	TruncatedSegments uint64 `json:"truncated_segments"`
+	// Policy is the fsync policy's string form.
+	Policy string `json:"fsync"`
+}
+
+// ErrClosed is returned by operations on a closed WAL.
+var ErrClosed = errors.New("wal: closed")
+
+const (
+	frameHeaderSize = 8
+	minPayload      = 3
+	maxPayload      = 32
+	segmentSuffix   = ".wal"
+
+	defaultSegmentBytes = 4 << 20
+	defaultInterval     = 50 * time.Millisecond
+)
+
+// segment is one live log file; firstLSN orders them and names the file.
+type segment struct {
+	firstLSN uint64
+	path     string
+}
+
+// WAL is a segmented write-ahead log. Safe for concurrent use; appends
+// are serialized internally.
+type WAL struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	f         *os.File // active segment, positioned at the clean tail
+	size      int64    // bytes in the active segment
+	sealed    []segment
+	activeSeg segment
+	nextLSN   uint64
+	dirty     bool // unsynced appends (SyncInterval bookkeeping)
+	closed    bool
+	truncated uint64
+
+	stopSync chan struct{}
+	doneSync chan struct{}
+}
+
+func segmentPath(dir string, firstLSN uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%016x%s", firstLSN, segmentSuffix))
+}
+
+// encodeRecord frames r into buf and returns the frame.
+func encodeRecord(r Record, buf []byte) []byte {
+	payload := buf[frameHeaderSize:frameHeaderSize]
+	payload = append(payload, r.Op)
+	payload = binary.AppendVarint(payload, r.From)
+	payload = binary.AppendVarint(payload, r.To)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	return buf[:frameHeaderSize+len(payload)]
+}
+
+// decodeRecord parses one payload; ok is false on any malformation.
+func decodeRecord(payload []byte) (Record, bool) {
+	if len(payload) < minPayload {
+		return Record{}, false
+	}
+	r := Record{Op: payload[0]}
+	rest := payload[1:]
+	var n int
+	if r.From, n = binary.Varint(rest); n <= 0 {
+		return Record{}, false
+	}
+	rest = rest[n:]
+	if r.To, n = binary.Varint(rest); n <= 0 {
+		return Record{}, false
+	}
+	if len(rest) != n {
+		return Record{}, false // trailing garbage inside a framed payload
+	}
+	return r, true
+}
+
+// readSegment replays one segment's records, returning them along with
+// the byte offset of the clean prefix and whether the segment ended
+// cleanly (false when a bad frame stopped the scan early).
+func readSegment(r io.Reader) (recs []Record, cleanLen int64, clean bool) {
+	var header [frameHeaderSize]byte
+	var payload [maxPayload]byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			// EOF at a frame boundary is the clean end; anything else
+			// (short header) is a torn tail.
+			return recs, cleanLen, err == io.EOF
+		}
+		length := binary.LittleEndian.Uint32(header[0:])
+		wantCRC := binary.LittleEndian.Uint32(header[4:])
+		if length < minPayload || length > maxPayload {
+			return recs, cleanLen, false
+		}
+		p := payload[:length]
+		if _, err := io.ReadFull(r, p); err != nil {
+			return recs, cleanLen, false
+		}
+		if crc32.ChecksumIEEE(p) != wantCRC {
+			return recs, cleanLen, false
+		}
+		rec, ok := decodeRecord(p)
+		if !ok {
+			return recs, cleanLen, false
+		}
+		recs = append(recs, rec)
+		cleanLen += frameHeaderSize + int64(length)
+	}
+}
+
+// Open opens (creating if necessary) the log in dir, replays every intact
+// record in LSN order, and returns them. Recovery truncates the log at
+// the first bad frame — a crash's torn tail — so appends resume on a
+// clean boundary; segments after a corrupt one are deleted, never
+// replayed past the damage.
+func Open(dir string, opts Options) (*WAL, []Record, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = defaultInterval
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	w := &WAL{dir: dir, opts: opts, nextLSN: 1}
+	if len(segs) > 0 {
+		// TruncateTo removes prefixes, so a healthy log starts at the first
+		// surviving segment's LSN, not necessarily 1.
+		w.nextLSN = segs[0].firstLSN
+	}
+	var records []Record
+	damagedAt := -1 // index of the first segment with a bad frame
+	for i, seg := range segs {
+		if seg.firstLSN != w.nextLSN {
+			// A gap or overlap in LSNs: everything from here on is
+			// untrustworthy (TruncateTo only ever removes prefixes, so a
+			// healthy log is contiguous).
+			damagedAt = i
+			break
+		}
+		f, err := os.Open(seg.path)
+		if err != nil {
+			return nil, nil, err
+		}
+		recs, cleanLen, clean := readSegment(f)
+		f.Close()
+		records = append(records, recs...)
+		w.nextLSN += uint64(len(recs))
+		if !clean {
+			damagedAt = i
+			if err := os.Truncate(seg.path, cleanLen); err != nil {
+				return nil, nil, fmt.Errorf("wal: truncating torn tail of %s: %w", seg.path, err)
+			}
+			break
+		}
+	}
+	switch {
+	case damagedAt >= 0:
+		// The damaged segment becomes the active tail; later segments are
+		// unrecoverable (their records were never acknowledged as durable
+		// in any run whose tail survived) and are removed.
+		for _, seg := range segs[damagedAt+1:] {
+			if err := os.Remove(seg.path); err != nil {
+				return nil, nil, err
+			}
+		}
+		w.sealed = append(w.sealed, segs[:damagedAt]...)
+		w.activeSeg = segs[damagedAt]
+	case len(segs) > 0:
+		w.sealed = append(w.sealed, segs[:len(segs)-1]...)
+		w.activeSeg = segs[len(segs)-1]
+	default:
+		w.activeSeg = segment{firstLSN: 1, path: segmentPath(dir, 1)}
+	}
+
+	f, err := os.OpenFile(w.activeSeg.path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w.f = f
+	w.size = size
+
+	if opts.Policy == SyncInterval {
+		w.stopSync = make(chan struct{})
+		w.doneSync = make(chan struct{})
+		go w.syncLoop()
+	}
+	return w, records, nil
+}
+
+// listSegments returns dir's segment files sorted by first LSN.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		lsn, err := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 16, 64)
+		if err != nil || lsn == 0 {
+			continue // foreign file; leave it alone
+		}
+		segs = append(segs, segment{firstLSN: lsn, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
+	return segs, nil
+}
+
+// Append journals one record. When it returns nil the record is durable
+// per the sync policy (on disk under SyncAlways, in the page cache
+// otherwise) — only then may the mutation be acknowledged. On error the
+// log is rolled back to its pre-append state, so a failed append never
+// leaves a torn frame for recovery to trip on.
+func (w *WAL) Append(r Record) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if err := fault.Inject("wal.append"); err != nil {
+		return 0, err
+	}
+	var buf [frameHeaderSize + maxPayload]byte
+	frame := encodeRecord(r, buf[:])
+
+	if w.size > 0 && w.size+int64(len(frame)) > w.opts.SegmentBytes {
+		if err := w.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := fault.Writer("wal.write", w.f).Write(frame); err != nil {
+		// Roll the torn frame back so the next append starts clean. If
+		// the disk refuses even that, recovery's torn-tail handling still
+		// drops the partial frame on restart.
+		if terr := w.f.Truncate(w.size); terr == nil {
+			if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+				w.closeLocked()
+			}
+		} else {
+			w.closeLocked()
+		}
+		return 0, err
+	}
+	if w.opts.Policy == SyncAlways {
+		if err := w.syncLocked(); err != nil {
+			// The bytes may be in the page cache but the durability
+			// contract is broken; roll back so an unacknowledged record
+			// cannot survive into a replay.
+			if terr := w.f.Truncate(w.size); terr == nil {
+				if _, serr := w.f.Seek(w.size, io.SeekStart); serr != nil {
+					w.closeLocked()
+				}
+			} else {
+				w.closeLocked()
+			}
+			return 0, err
+		}
+	} else {
+		w.dirty = true
+	}
+	w.size += int64(len(frame))
+	lsn := w.nextLSN
+	w.nextLSN++
+	return lsn, nil
+}
+
+// rotate seals the active segment and starts a new one first-named by the
+// next LSN.
+func (w *WAL) rotate() error {
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	seg := segment{firstLSN: w.nextLSN, path: segmentPath(w.dir, w.nextLSN)}
+	f, err := os.OpenFile(seg.path, os.O_CREATE|os.O_RDWR|os.O_EXCL, 0o644)
+	if err != nil {
+		// Reopen the sealed segment so the WAL stays usable.
+		if old, oerr := os.OpenFile(w.activeSeg.path, os.O_RDWR, 0o644); oerr == nil {
+			if _, serr := old.Seek(0, io.SeekEnd); serr == nil {
+				w.f = old
+				return err
+			}
+			old.Close()
+		}
+		w.closed = true
+		return err
+	}
+	w.sealed = append(w.sealed, w.activeSeg)
+	w.activeSeg = seg
+	w.f = f
+	w.size = 0
+	return nil
+}
+
+func (w *WAL) syncLocked() error {
+	if err := fault.Inject("wal.sync"); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirty = false
+	return nil
+}
+
+// Sync forces an fsync of the active segment.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	return w.syncLocked()
+}
+
+// syncLoop is the SyncInterval background fsync.
+func (w *WAL) syncLoop() {
+	defer close(w.doneSync)
+	t := time.NewTicker(w.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopSync:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if !w.closed && w.dirty {
+				_ = w.syncLocked() // retried next tick; Close syncs once more
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// TruncateTo deletes sealed segments every record of which has LSN <=
+// lsn — called once a snapshot covering those records has been durably
+// persisted, so the log only retains mutations newer than the newest
+// snapshot. The active segment is never deleted. Deleting is prefix-only:
+// the first retained segment stops the scan, keeping the log contiguous.
+func (w *WAL) TruncateTo(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	keep := 0
+	for i, seg := range w.sealed {
+		var lastLSN uint64
+		if i+1 < len(w.sealed) {
+			lastLSN = w.sealed[i+1].firstLSN - 1
+		} else {
+			lastLSN = w.activeSeg.firstLSN - 1
+		}
+		if lastLSN > lsn {
+			break
+		}
+		if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+			w.sealed = w.sealed[keep:]
+			return err
+		}
+		w.truncated++
+		keep = i + 1
+	}
+	w.sealed = w.sealed[keep:]
+	return nil
+}
+
+// LastLSN returns the LSN of the newest appended record (0 when the log
+// has never held one).
+func (w *WAL) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN - 1
+}
+
+// Stats returns a point-in-time snapshot of the log's gauges.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Stats{
+		LastLSN:           w.nextLSN - 1,
+		Segments:          len(w.sealed) + 1,
+		TruncatedSegments: w.truncated,
+		Policy:            w.opts.Policy.String(),
+	}
+}
+
+// closeLocked tears down the file handle after an unrecoverable write
+// error; subsequent operations return ErrClosed.
+func (w *WAL) closeLocked() {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	w.closed = true
+}
+
+// Close syncs and closes the log. Idempotent.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	stop := w.stopSync
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-w.doneSync
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	err := w.syncLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	w.closed = true
+	return err
+}

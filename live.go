@@ -1,11 +1,16 @@
 package socialrec
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"socialrec/internal/fault"
 	"socialrec/internal/graph"
+	"socialrec/internal/retry"
+	"socialrec/internal/wal"
 )
 
 // Live graph mutations: the paper's setting is a live social network whose
@@ -54,6 +59,13 @@ type liveState struct {
 	// must re-snapshot from the full graph.
 	forceFull bool
 
+	// drainedLSN (under refreshMu) is the WAL sequence number of the last
+	// drained delta. Journal appends and WAL appends happen in the same
+	// mutation critical section, so each drain of k deltas advances it by
+	// exactly k; a successfully installed snapshot then covers the WAL up
+	// to this mark. Zero when no WAL is configured.
+	drainedLSN uint64
+
 	closeOnce sync.Once
 }
 
@@ -79,6 +91,12 @@ type LiveStats struct {
 	// writes performed after swaps when WithSnapshotPersist is configured.
 	SnapshotsPersisted uint64 `json:"snapshots_persisted"`
 	PersistErrors      uint64 `json:"persist_errors"`
+	// WAL reports the write-ahead log's gauges; nil unless WithWAL.
+	WAL *WALStats `json:"wal,omitempty"`
+	// Degraded maps persistently failing subsystems to their last error;
+	// nil when healthy. Serving continues from the last good snapshot
+	// while any entry is present.
+	Degraded map[string]string `json:"degraded,omitempty"`
 }
 
 // AddEdge inserts the edge u->v (or {u,v} for undirected graphs) into the
@@ -119,7 +137,10 @@ func (r *Recommender) AddNode() (int, error) {
 	if lv == nil {
 		return 0, ErrNotLive
 	}
-	id := lv.mut.AddNode()
+	id, err := lv.mut.AddNode()
+	if err != nil {
+		return 0, err
+	}
 	r.maybeKick(lv)
 	return id, nil
 }
@@ -157,7 +178,7 @@ func (r *Recommender) LiveStats() (stats LiveStats, ok bool) {
 	if lv == nil {
 		return LiveStats{}, false
 	}
-	return LiveStats{
+	stats = LiveStats{
 		SnapshotVersion:     r.SnapshotVersion(),
 		PendingDeltas:       lv.mut.Pending(),
 		Rebuilds:            lv.rebuilds.Load(),
@@ -166,7 +187,19 @@ func (r *Recommender) LiveStats() (stats LiveStats, ok bool) {
 		Edges:               lv.mut.NumEdges(),
 		SnapshotsPersisted:  r.persists.Load(),
 		PersistErrors:       r.persistErrs.Load(),
-	}, true
+		Degraded:            r.health.snapshot(),
+	}
+	if r.wal != nil {
+		ws := r.wal.Stats()
+		stats.WAL = &WALStats{
+			LastLSN:           ws.LastLSN,
+			CoveredLSN:        r.state.Load().walLSN,
+			Segments:          ws.Segments,
+			TruncatedSegments: ws.TruncatedSegments,
+			Fsync:             ws.Policy,
+		}
+	}
+	return stats, true
 }
 
 // CurrentGraph returns a deep copy of the live graph, including mutations
@@ -213,25 +246,47 @@ func (r *Recommender) rebuildLocked(lv *liveState) (*snapState, error) {
 	}
 	cur := r.state.Load()
 	var snap *graph.CSR
+	var drained int
 	incremental := !lv.forceFull && patchWorthwhile(pending, cur.snap)
 	if incremental {
 		deltas := lv.mut.Drain()
+		drained = len(deltas)
 		// Patch copies touched and untouched rows out of whichever store
 		// backs the current snapshot (heap or mmap), so the overlay is a
 		// plain heap CSR with no ties to a mapping.
 		snap = cur.snap.Patch(deltas)
 	} else {
-		snap, _ = lv.mut.SnapshotAndDrain()
+		var deltas []graph.Delta
+		snap, deltas = lv.mut.SnapshotAndDrain()
+		drained = len(deltas)
 	}
-	st, err := r.buildStateFromSnap(snap, cur.epoch+1)
+	// Each drained delta had a WAL record appended in the same critical
+	// section, so the drain advances the covered mark by exactly drained.
+	// This stands even if the build below fails: the drained deltas are
+	// already in the mutable graph, and the forceFull recovery snapshot
+	// re-captures them wholesale.
+	lv.drainedLSN += uint64(drained)
+	var st *snapState
+	err := retry.Default.Do(context.Background(), func() error {
+		if err := fault.Inject("live.rebuild"); err != nil {
+			return err
+		}
+		var berr error
+		st, berr = r.buildStateFromSnap(snap, cur.epoch+1)
+		return berr
+	})
 	if err != nil {
 		// The journal was drained but no snapshot was installed: the
 		// incremental basis is lost, so the next attempt must re-snapshot
-		// the full graph (which is always self-consistent).
+		// the full graph (which is always self-consistent). Serving
+		// continues from the last good snapshot; /healthz shows degraded.
 		lv.forceFull = true
+		r.health.set(subsystemRebuild, err)
 		return nil, err
 	}
 	lv.forceFull = false
+	r.health.clear(subsystemRebuild)
+	st.walLSN = lv.drainedLSN
 	r.state.Store(st)
 	lv.rebuilds.Add(1)
 	if incremental {
@@ -241,12 +296,15 @@ func (r *Recommender) rebuildLocked(lv *liveState) (*snapState, error) {
 }
 
 // persistSwapped writes a swapped-in snapshot to the WithSnapshotPersist
-// path, atomically via temp file + rename. Writes are serialized by their
-// own mutex — never by refreshMu, so a slow disk cannot stall swaps — and
-// the epoch guard keeps a delayed older write from replacing a newer
-// snapshot already on disk. Persistence is best-effort: a full disk must
-// not take down serving, so failures only bump a counter surfaced through
-// LiveStats.
+// path, atomically via temp file + rename, retrying transient failures
+// with bounded backoff. Writes are serialized by their own mutex — never
+// by refreshMu, so a slow disk cannot stall swaps — and the epoch guard
+// keeps a delayed older write from replacing a newer snapshot already on
+// disk. Persistence is best-effort: a full disk must not take down
+// serving, so exhausted retries only bump a counter and mark the
+// subsystem degraded. A durably persisted snapshot covers a prefix of the
+// WAL, which is then truncated: replay-on-open only ever needs records
+// newer than the snapshot it starts from.
 func (r *Recommender) persistSwapped(st *snapState) {
 	if r.persistPath == "" {
 		return
@@ -256,12 +314,24 @@ func (r *Recommender) persistSwapped(st *snapState) {
 	if st.epoch < r.persistEpoch {
 		return // a newer snapshot is already persisted
 	}
-	if err := graph.WriteSnapshotFile(r.persistPath, st.snap); err != nil {
+	err := retry.Default.Do(context.Background(), func() error {
+		return graph.WriteSnapshotFile(r.persistPath, st.snap)
+	})
+	if err != nil {
 		r.persistErrs.Add(1)
+		r.health.set(subsystemPersist, err)
 		return
 	}
+	r.health.clear(subsystemPersist)
 	r.persistEpoch = st.epoch
 	r.persists.Add(1)
+	if r.wal != nil && st.walLSN > 0 {
+		// WriteSnapshotFile fsyncs file and directory, so the records the
+		// snapshot covers are no longer needed for recovery.
+		if terr := r.wal.TruncateTo(st.walLSN); terr != nil && !errors.Is(terr, wal.ErrClosed) {
+			r.health.set(subsystemWAL, terr)
+		}
+	}
 }
 
 // patchWorthwhile decides between the incremental patch and a from-scratch
@@ -272,9 +342,11 @@ func patchWorthwhile(pending int, snap graph.Store) bool {
 }
 
 // Close stops the background rebuilder goroutine, if any, waits for it to
-// exit, and releases the snapshot file the Recommender owns when it was
-// built with WithSnapshotFile. Pending deltas are left journaled; call
-// Rebuild first if they must be folded in. Close is idempotent. For
+// exit, syncs and closes the write-ahead log, and releases the snapshot
+// file the Recommender owns when it was built with WithSnapshotFile.
+// Pending deltas are left journaled in memory but remain recoverable from
+// the WAL when one is configured; call Rebuild first if they must be
+// folded into the serving snapshot. Close is idempotent. For
 // memory-mapped snapshots, call Close only after in-flight requests have
 // drained: unmapping while a request still scans the mapping is unsafe.
 func (r *Recommender) Close() error {
@@ -284,10 +356,16 @@ func (r *Recommender) Close() error {
 			<-lv.done
 		})
 	}
-	if r.ownedSnap != nil {
-		return r.ownedSnap.Close()
+	var err error
+	if r.wal != nil {
+		err = r.wal.Close()
 	}
-	return nil
+	if r.ownedSnap != nil {
+		if cerr := r.ownedSnap.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // rebuildLoop is the background debouncer: every interval tick — or

@@ -159,6 +159,44 @@ func WithSnapshotPersist(path string) Option {
 	}
 }
 
+// WithWAL makes every accepted mutation crash-safe: before AddEdge,
+// RemoveEdge, or AddNode acknowledges, the mutation is appended to a
+// segmented, checksummed write-ahead log in dir, and on construction the
+// surviving log is replayed on top of the input graph (or snapshot file),
+// so a restart after kill -9 reconstructs every acknowledged mutation.
+// The log is truncated once a persisted snapshot (WithSnapshotPersist)
+// durably covers its records; without snapshot persistence the log only
+// grows. Implies WithLiveMutations. The fsync policy defaults to
+// FsyncAlways; see WithWALSync.
+func WithWAL(dir string) Option {
+	return func(r *Recommender) error {
+		if dir == "" {
+			return fmt.Errorf("socialrec: WithWAL(%q): empty directory", dir)
+		}
+		r.pendingLive = true
+		r.pendingWALDir = dir
+		return nil
+	}
+}
+
+// WithWALSync selects the WAL fsync policy, trading durability against
+// mutation latency: FsyncAlways (default) survives power loss,
+// FsyncInterval survives process crashes but can lose up to ~50ms of
+// acknowledged mutations to an OS crash, FsyncOff is for tests and bulk
+// loads. Only meaningful together with WithWAL.
+func WithWALSync(mode FsyncMode) Option {
+	return func(r *Recommender) error {
+		switch mode {
+		case FsyncAlways, FsyncInterval, FsyncOff:
+			r.pendingFsync = mode
+			r.pendingFsyncSet = true
+			return nil
+		default:
+			return fmt.Errorf("socialrec: WithWALSync(%v): unknown mode", mode)
+		}
+	}
+}
+
 // NonPrivate disables privacy protection entirely (R_best). It exists so
 // that examples and benchmarks can report the non-private baseline; never
 // ship it to users whose graph edges are sensitive.

@@ -14,6 +14,7 @@ import (
 	"socialrec/internal/graph"
 	"socialrec/internal/mechanism"
 	"socialrec/internal/utility"
+	"socialrec/internal/wal"
 )
 
 // Graph is the social graph recommendations are computed over. Nodes are
@@ -120,6 +121,10 @@ type snapState struct {
 	// mech is the mechanism instance for this state, built once so the
 	// serving hot path avoids a per-call interface allocation.
 	mech mechanism.Mechanism
+	// walLSN is the newest WAL record folded into snap (0 when no WAL is
+	// configured or the log is empty). Persisting this state durably
+	// makes WAL records up to walLSN reclaimable; see persistSwapped.
+	walLSN uint64
 }
 
 // Recommender makes differentially private social recommendations over a
@@ -163,6 +168,12 @@ type Recommender struct {
 	persists     atomic.Uint64
 	persistErrs  atomic.Uint64
 
+	// wal is the write-ahead log making mutations crash-safe (nil unless
+	// WithWAL); health tracks persistently failing subsystems for
+	// degraded-mode reporting (see Degraded).
+	wal    *wal.WAL
+	health healthTracker
+
 	// pendingCacheSize carries the WithCache option value from option
 	// application to construction; pendingLive and the rebuild knobs do the
 	// same for the live-mutation options, and pendingSnapshotFile/-Mode for
@@ -173,6 +184,9 @@ type Recommender struct {
 	pendingMaxPending   int
 	pendingSnapshotFile string
 	pendingSnapshotMode SnapshotMode
+	pendingWALDir       string
+	pendingFsync        FsyncMode
+	pendingFsyncSet     bool
 }
 
 // Errors returned by the Recommender.
@@ -249,6 +263,9 @@ func configureRecommender(opts []Option) (*Recommender, error) {
 	if r.kind != MechanismNone && !(r.epsilon > 0) {
 		return nil, fmt.Errorf("socialrec: epsilon %g must be positive", r.epsilon)
 	}
+	if r.pendingFsyncSet && r.pendingWALDir == "" {
+		return nil, errors.New("socialrec: WithWALSync requires WithWAL")
+	}
 	return r, nil
 }
 
@@ -274,8 +291,41 @@ func (r *Recommender) initFromSnapshotFile() error {
 
 // finishInit installs the initial snapState, enables the cache, and — when
 // live mutations were requested — materializes the mutable basis via
-// mutableBase and starts the background rebuilder.
+// mutableBase and starts the background rebuilder. With WithWAL it first
+// opens the log and replays any records that survived a crash, so the
+// initial serving snapshot already reflects every acknowledged mutation.
 func (r *Recommender) finishInit(st *snapState, mutableBase func() (*Graph, error)) error {
+	var w *wal.WAL
+	if r.pendingWALDir != "" {
+		var recs []wal.Record
+		var err error
+		w, recs, err = wal.Open(r.pendingWALDir, wal.Options{Policy: r.pendingFsync.walPolicy()})
+		if err != nil {
+			return fmt.Errorf("socialrec: opening WAL %q: %w", r.pendingWALDir, err)
+		}
+		if len(recs) > 0 {
+			// Acknowledged mutations outlived the previous process: fold
+			// them into the basis before the first snapshot. Replay mutates
+			// pre-noise graph state only, so it has no DP cost — no noise
+			// is drawn and nothing is released during recovery.
+			base, err := mutableBase()
+			if err == nil {
+				err = replayWAL(base, recs)
+			}
+			var replayed *snapState
+			if err == nil {
+				replayed, err = r.buildState(base, st.epoch)
+			}
+			if err != nil {
+				w.Close()
+				return err
+			}
+			st = replayed
+			mutableBase = func() (*Graph, error) { return base, nil }
+		}
+		st.walLSN = w.LastLSN()
+		r.wal = w
+	}
 	r.state.Store(st)
 	if r.pendingCacheSize != 0 {
 		r.EnableCache(r.pendingCacheSize)
@@ -283,15 +333,35 @@ func (r *Recommender) finishInit(st *snapState, mutableBase func() (*Graph, erro
 	if r.pendingLive {
 		base, err := mutableBase()
 		if err != nil {
+			if w != nil {
+				w.Close()
+			}
 			return err
 		}
+		mut := graph.NewMutable(base)
+		if w != nil {
+			// The journal hook runs inside the mutation critical section,
+			// so WAL order matches delta-log order record for record, and a
+			// mutation is only acknowledged once its record is durable per
+			// the fsync policy. An append failure vetoes (rolls back) the
+			// mutation and marks the WAL subsystem degraded.
+			mut.SetJournal(func(d graph.Delta) error {
+				if _, err := w.Append(walRecord(d)); err != nil {
+					r.health.set(subsystemWAL, err)
+					return fmt.Errorf("socialrec: WAL append: %w", err)
+				}
+				r.health.clear(subsystemWAL)
+				return nil
+			})
+		}
 		lv := &liveState{
-			mut:        graph.NewMutable(base),
+			mut:        mut,
 			interval:   r.pendingInterval,
 			maxPending: r.pendingMaxPending,
 			kick:       make(chan struct{}, 1),
 			stop:       make(chan struct{}),
 			done:       make(chan struct{}),
+			drainedLSN: st.walLSN,
 		}
 		if lv.interval <= 0 {
 			lv.interval = DefaultRebuildInterval
