@@ -183,6 +183,50 @@
 // pre-processing from an old graph is never mixed into answers over a new
 // one.
 //
+// # Cache invalidation
+//
+// By default every snapshot swap flushes the utility-vector cache: the
+// epoch bump orphans all entries, so a live graph under steady mutation
+// traffic serves almost entirely uncached. WithDeltaInvalidation replaces
+// the flush with delta-aware retention built on two pieces:
+//
+// A reverse dependency index. Each cache insertion registers the entry's
+// dependency closure — the target, its out-neighbors, and its nonzero
+// support (exactly the skip table the entry already carries) — under the
+// cached target, maintained incrementally on insert, evict, and replace.
+//
+// A per-utility invalidation radius. A utility declares locality by
+// implementing InvalidationRadius() int (utility.Localized): radius ρ
+// promises its output for target r is fully determined by r's ρ-hop
+// out-ball. CommonNeighbors and Jaccard declare 2, WeightedPaths declares
+// its path-length truncation (3 by default). At each live rebuild, the
+// drained delta batch's endpoints are expanded ρ reverse-BFS hops over the
+// union of the pre- and post-patch adjacency — both graphs, because an edge
+// add can pull a node into a support that was previously empty, and an edge
+// removal can orphan one. Entries whose target falls in that expanded set,
+// or whose registered closure contains a raw delta endpoint, are dropped;
+// every other entry is re-keyed to the new epoch in place and keeps
+// serving. CacheStats.Retained / .Invalidated (and /healthz) count both
+// outcomes.
+//
+// The conservative fallback: retention only happens when it is provably
+// bit-exact. The swap flushes everything when the utility declares no
+// radius (Degree scores every node; PageRank propagates mass globally),
+// when the batch adds a node (the candidate count n-1-d(r) baked into every
+// entry's tail ranks changes), when Δf or the smoothing weight changed
+// across the swap (baked into cached CDF weights), when a failed rebuild
+// lost the incremental basis, and on RefreshSnapshot (an arbitrary new
+// graph carries no delta information).
+//
+// Why retention is DP-safe: a retained entry is pure pre-noise state — raw
+// utilities that never leave the process — and the locality contract makes
+// it bit-identical to what a cache miss would recompute from the new
+// snapshot (the retention tests and fuzzer enforce this field-for-field).
+// The mechanism's output distribution over the new graph is therefore
+// exactly that of an uncached Recommender: the same Δf is in force, and the
+// privacy-bearing noise is still drawn fresh per request. No randomness and
+// no released output ever crosses a snapshot boundary.
+//
 // # Durability and failure model
 //
 // A live Recommender's delta log and serving snapshots live in process

@@ -112,16 +112,17 @@ func (m *MutableGraph) RemoveEdge(u, v int) error {
 }
 
 // AddNode appends a new isolated node, journals the delta, and returns the
-// new node's ID. The only possible error is a journal veto; node addition
-// itself cannot fail. The journal is consulted before the node is
-// materialized because node removal has no inverse to roll back with.
+// new node's ID — or -1 on error, never 0, which is a valid ID. The only
+// possible error is a journal veto; node addition itself cannot fail. The
+// journal is consulted before the node is materialized because node removal
+// has no inverse to roll back with.
 func (m *MutableGraph) AddNode() (int, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	id := m.g.NumNodes()
 	if m.journal != nil {
 		if err := m.journal(Delta{Op: DeltaAddNode, From: id}); err != nil {
-			return 0, err
+			return -1, err
 		}
 	}
 	m.g.AddNode()

@@ -41,6 +41,13 @@ func (cn CommonNeighbors) Vector(v View, r int) ([]float64, error) {
 // Δf = 2 also covers the 2·Δ∞ requirement of the exponential mechanism.
 func (CommonNeighbors) Sensitivity(View) float64 { return 2 }
 
+// InvalidationRadius implements Localized. C(i, r) counts two-hop walks
+// r -> a -> i, so the output for r depends only on the rows of r and of
+// r's out-neighbors — the 2-hop out-ball. An edge (u, v) can only change
+// the vector when u ∈ {r} ∪ out(r), i.e. when an endpoint is within 2
+// out-hops of r.
+func (CommonNeighbors) InvalidationRadius() int { return 2 }
+
 // RewireCount implements Function with the exact per-target value from
 // §7.1: t = u_max + 1 + I(u_max == d_r). Connecting a candidate to u_max+1
 // of r's neighbors beats every incumbent (each has at most u_max common

@@ -53,6 +53,11 @@ func (d Degree) Vector(v View, r int) ([]float64, error) {
 // most two nodes by 1 each, so the L1 change is at most 2 (= 2·Δ∞).
 func (Degree) Sensitivity(View) float64 { return 2 }
 
+// Degree deliberately does not implement Localized: its support is global
+// (any edge anywhere changes some candidate's degree for every target), so
+// delta-aware cache invalidation would retain nothing — the conservative
+// full-flush fallback is the honest behavior.
+
 // RewireCount implements Function: raising a candidate's degree past u_max
 // needs ⌊u_max⌋+1 edge additions.
 func (Degree) RewireCount(umax float64, dr int) int { return int(umax) + 1 }

@@ -64,6 +64,14 @@ func (j Jaccard) Vector(v View, r int) ([]float64, error) {
 // covers the 2·Δ∞ requirement of the exponential mechanism.
 func (Jaccard) Sensitivity(View) float64 { return 2 }
 
+// InvalidationRadius implements Localized. The intersection term is the
+// CommonNeighbors two-hop walk; the union term additionally reads
+// InDegree(i) of each support node i, which sits at out-distance exactly 2
+// from r. An edge (u, v) changing InDegree(i) has v = i within 2 out-hops
+// of r, so the 2-hop ball (rows at distance < 2, degrees at distance <= 2)
+// determines the output — exactly the Localized contract for ρ = 2.
+func (Jaccard) InvalidationRadius() int { return 2 }
+
 // RewireCount implements Function. Wiring a fresh candidate x to every one
 // of r's d_r neighbors and nothing else gives u_x = 1, the global maximum
 // of the coefficient, beating any incumbent with u < 1; when the incumbent

@@ -140,6 +140,12 @@ func (p PageRank) Sensitivity(View) float64 {
 	return 2 * (1 - alpha) / alpha
 }
 
+// PageRank deliberately does not implement Localized: the power iteration
+// propagates restart mass across the entire component reachable from the
+// target (up to iterations() hops — 50 by default), so no small hop bound
+// determines the output and the cache must fall back to a full flush on
+// snapshot swaps.
+
 // RewireCount implements Function with the generic Theorem 1 value
 // t <= 4·d_max specialized to the target: wiring a candidate directly to the
 // target's neighborhood needs at most d_r additions, plus the symmetric

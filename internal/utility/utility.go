@@ -82,6 +82,42 @@ type Function interface {
 	RewireCount(umax float64, dr int) int
 }
 
+// Localized is the optional interface a Function implements to declare that
+// its output is local: InvalidationRadius returns a hop bound ρ > 0 such
+// that the function's result for a target r is fully determined by the
+// ρ-hop out-ball of r — the adjacency rows of every node at out-distance
+// < ρ from r, plus the in/out-degrees of every node at out-distance <= ρ
+// (and r's own row). Equivalently: adding or removing an edge (u, v) cannot
+// change the output for r unless u or v lies within ρ out-hops of r.
+//
+// The serving layer uses this contract for delta-aware cache invalidation:
+// after a snapshot swap it retains every cached vector whose target is
+// farther than ρ from all delta endpoints (measured on the pre- and
+// post-patch graphs), because the declaration guarantees such an entry is
+// bit-identical to a fresh recompute. The bound must therefore be exact or
+// conservative — never optimistic. Note it only covers edge deltas for a
+// fixed node set; node additions change the candidate count n-1-d(r) of
+// every target, and the caller handles them with a full flush.
+//
+// Functions whose support is effectively global (Degree scores every
+// non-isolated node; PageRank's power iteration propagates mass across the
+// whole reachable component) must NOT implement Localized: the absence of a
+// radius is what triggers the conservative flush-everything fallback.
+type Localized interface {
+	// InvalidationRadius returns the hop bound ρ described above; values
+	// <= 0 are treated as "not localized".
+	InvalidationRadius() int
+}
+
+// Compile-time record of which utilities declare locality. Degree and
+// PageRank are intentionally absent; see the comments at their RewireCount
+// methods.
+var (
+	_ Localized = CommonNeighbors{}
+	_ Localized = Jaccard{}
+	_ Localized = WeightedPaths{}
+)
+
 // Max returns the largest value in vec (0 for an empty vector). Utility
 // vectors are non-negative by construction, so 0 doubles as "no candidate".
 func Max(vec []float64) float64 {

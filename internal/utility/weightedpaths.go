@@ -125,6 +125,13 @@ func (w WeightedPaths) Sensitivity(v View) float64 {
 	return 2 * (1 + extra)
 }
 
+// InvalidationRadius implements Localized. Paths of length <= MaxLen from r
+// traverse rows of nodes at out-distance <= MaxLen-1, so the output is
+// determined by the MaxLen-hop out-ball: an edge (u, v) on some counted
+// path has u within MaxLen-1 out-hops of r. ρ = MaxLen (3 by default, per
+// the paper's truncation).
+func (w WeightedPaths) InvalidationRadius() int { return w.maxLen() }
+
 // RewireCount implements Function with the exact per-target value from
 // §7.1: t = ⌊u_max⌋ + 2 — a candidate wired to ⌊u_max⌋+1 fresh
 // intermediaries of r (plus one edge to create an intermediary when needed)

@@ -1,0 +1,142 @@
+package socialrec
+
+import (
+	"socialrec/internal/graph"
+	"socialrec/internal/utility"
+)
+
+// Delta-aware cache invalidation: a snapshot swap used to orphan every
+// cached utility vector by bumping the epoch, so a live graph under steady
+// mutation traffic served almost entirely uncached. But the serving
+// utilities are local — a CommonNeighbors vector depends only on the 2-hop
+// out-ball of its target — so a small delta batch provably cannot touch the
+// vast majority of cached targets. This file computes, for one drained
+// batch, a conservative superset of the targets whose entries could differ
+// on the new snapshot; vectorCache.advance then re-keys every other entry
+// to the new epoch untouched.
+//
+// Correctness rests on the utility.Localized contract: with declared radius
+// ρ, the entry for target r is a pure function of r's ρ-hop out-ball (rows
+// at out-distance < ρ, degrees at distance <= ρ). Comparing the pre-patch
+// graph G and the post-patch graph G', the entry can differ only if some
+// edge of the symmetric difference — a subset of the batch's edge deltas —
+// intersects that ball in G or in G'. Contrapositive: if no delta endpoint
+// is within ρ out-hops of r in either graph, the ball subgraphs are
+// identical edge-for-edge and the recomputed entry — idx, val, umax, skip,
+// and (given an unchanged candidate count, Δf, and smoothing x) the CDF —
+// is bit-identical, because the kernels are deterministic scans of exactly
+// that ball. So the affected set is the reverse ρ-hop ball of the delta
+// endpoints, grown by following in-edges on BOTH stores: an edge add can
+// pull a node into a support that was previously empty (the new store's
+// in-edges find it), and an edge removal can orphan one (the old store's
+// in-edges find it).
+//
+// Two conditions void the ball argument entirely and force a full flush:
+// node additions (the candidate count n-1-d(r) of EVERY target changes, and
+// ncand is baked into each entry's tail ranks), and any change to the
+// state-wide Δf or smoothing x (baked into each entry's CDF weights).
+//
+// DP-safety of retention: a cached entry is pure pre-noise state — raw
+// utilities, never released. Retention only ever serves an entry that is
+// bit-identical to what a cache miss would recompute from the new snapshot,
+// so the mechanism's output distribution — and therefore the ε guarantee —
+// is exactly that of an uncached Recommender over the new graph. The
+// privacy-bearing noise is still drawn fresh per request; no randomness and
+// no released output ever crosses a snapshot boundary.
+
+// affectedSet is what one drained delta batch may have touched, handed to
+// vectorCache.advance at swap time.
+type affectedSet struct {
+	// seeds are the raw endpoints of the batch's edge deltas. advance dooms
+	// every target whose registered dependency closure contains one: the
+	// closure (skip = target ∪ out-neighbors ∪ support) spans the declared
+	// radius, so this is the precise "did the batch touch my ball" test for
+	// entries whose registration is current.
+	seeds map[int32]struct{}
+	// touched is seeds expanded by radius reverse-BFS hops over the union
+	// of the pre- and post-patch adjacency. advance dooms every target in
+	// it, covering entries whose support the batch created from nothing —
+	// an empty closure registers almost nothing, so the closure test alone
+	// would miss them.
+	touched map[int32]struct{}
+}
+
+// retentionRadius returns the serving utility's declared invalidation
+// radius, or 0 when the cache must fall back to full flushes (utility not
+// Localized, or delta invalidation not enabled).
+func (r *Recommender) retentionRadius() int {
+	if !r.deltaInval {
+		return 0
+	}
+	lu, ok := r.util.(utility.Localized)
+	if !ok {
+		return 0
+	}
+	if rad := lu.InvalidationRadius(); rad > 0 {
+		return rad
+	}
+	return 0
+}
+
+// affectedByBatch computes the affectedSet for one drained batch, or nil
+// when the swap must flush everything:
+//
+//   - delta invalidation disabled, or the utility declares no radius;
+//   - basisLost: a previous rebuild drained deltas but failed to install a
+//     snapshot, so this batch is not the complete diff between cur and next;
+//   - the batch adds a node (every entry's candidate count changes);
+//   - Δf or the smoothing x changed across the swap (baked into CDFs).
+func (r *Recommender) affectedByBatch(cur, next *snapState, deltas []graph.Delta, basisLost bool) *affectedSet {
+	radius := r.retentionRadius()
+	if radius == 0 || basisLost {
+		return nil
+	}
+	if next.sens != cur.sens || next.x != cur.x {
+		return nil
+	}
+	for _, d := range deltas {
+		if d.Op == graph.DeltaAddNode {
+			return nil
+		}
+	}
+	aff := &affectedSet{
+		seeds:   make(map[int32]struct{}, 2*len(deltas)),
+		touched: make(map[int32]struct{}, 8*len(deltas)),
+	}
+	frontier := make([]int32, 0, 2*len(deltas))
+	mark := func(v int32) {
+		if _, ok := aff.touched[v]; !ok {
+			aff.touched[v] = struct{}{}
+			frontier = append(frontier, v)
+		}
+	}
+	for _, d := range deltas {
+		mark(int32(d.From))
+		mark(int32(d.To))
+	}
+	for v := range aff.touched {
+		aff.seeds[v] = struct{}{}
+	}
+	// Reverse BFS: a target is affected when a seed lies within radius
+	// out-hops of it, so the touched set is grown by following in-edges
+	// from the seeds. Expanding over both stores at every level covers any
+	// mix of pre-only and post-only edges — a superset of the two per-graph
+	// balls, conservative in the right direction. (On undirected graphs
+	// In == Out and this is the plain neighborhood ball.)
+	stores := [2]graph.Store{cur.snap, next.snap}
+	for hop := 0; hop < radius && len(frontier) > 0; hop++ {
+		level := frontier
+		frontier = nil
+		for _, v := range level {
+			for _, st := range stores {
+				if int(v) >= st.NumNodes() {
+					continue
+				}
+				for _, u := range st.In(int(v)) {
+					mark(u)
+				}
+			}
+		}
+	}
+	return aff
+}

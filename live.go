@@ -130,16 +130,18 @@ func (r *Recommender) RemoveEdge(u, v int) error {
 	return nil
 }
 
-// AddNode appends a new isolated node to the live graph and returns its ID.
-// Returns ErrNotLive unless live mutations are enabled.
+// AddNode appends a new isolated node to the live graph and returns its ID,
+// or -1 and an error: 0 is a valid node ID, so callers that skip the error
+// check fail loudly on the out-of-range -1 instead of silently mutating
+// node 0. Returns ErrNotLive unless live mutations are enabled.
 func (r *Recommender) AddNode() (int, error) {
 	lv := r.live
 	if lv == nil {
-		return 0, ErrNotLive
+		return -1, ErrNotLive
 	}
 	id, err := lv.mut.AddNode()
 	if err != nil {
-		return 0, err
+		return -1, err
 	}
 	r.maybeKick(lv)
 	return id, nil
@@ -246,20 +248,26 @@ func (r *Recommender) rebuildLocked(lv *liveState) (*snapState, error) {
 	}
 	cur := r.state.Load()
 	var snap *graph.CSR
-	var drained int
+	var deltas []graph.Delta
+	// When a previous rebuild drained the journal but failed to install its
+	// snapshot, the deltas drained now are not the complete diff between
+	// cur.snap and the recovery snapshot — so the cache sweep below must not
+	// trust them for retention.
+	basisLost := lv.forceFull
 	incremental := !lv.forceFull && patchWorthwhile(pending, cur.snap)
 	if incremental {
-		deltas := lv.mut.Drain()
-		drained = len(deltas)
+		deltas = lv.mut.Drain()
 		// Patch copies touched and untouched rows out of whichever store
 		// backs the current snapshot (heap or mmap), so the overlay is a
 		// plain heap CSR with no ties to a mapping.
 		snap = cur.snap.Patch(deltas)
 	} else {
-		var deltas []graph.Delta
+		// Even on the from-scratch path the drained batch is still exactly
+		// snapshot_k - snapshot_{k-1} (the Drain invariant), so it remains a
+		// valid basis for delta-aware cache retention unless basisLost.
 		snap, deltas = lv.mut.SnapshotAndDrain()
-		drained = len(deltas)
 	}
+	drained := len(deltas)
 	// Each drained delta had a WAL record appended in the same critical
 	// section, so the drain advances the covered mark by exactly drained.
 	// This stands even if the build below fails: the drained deltas are
@@ -287,6 +295,14 @@ func (r *Recommender) rebuildLocked(lv *liveState) (*snapState, error) {
 	lv.forceFull = false
 	r.health.clear(subsystemRebuild)
 	st.walLSN = lv.drainedLSN
+	// Sweep the cache before publishing the new state so retained entries
+	// are warm the instant readers see the new epoch. A reader that races a
+	// put at cur.epoch after its shard was swept merely leaves residue the
+	// next sweep removes; one that puts at st.epoch early computed from st
+	// and is already correct.
+	if c := r.cache.Load(); c != nil {
+		c.advance(cur.epoch, st.epoch, r.affectedByBatch(cur, st, deltas, basisLost))
+	}
 	r.state.Store(st)
 	lv.rebuilds.Add(1)
 	if incremental {

@@ -145,6 +145,10 @@ type Recommender struct {
 	state atomic.Pointer[snapState]
 	cache atomic.Pointer[vectorCache]
 
+	// deltaInval enables delta-aware cache invalidation across live
+	// snapshot swaps (WithDeltaInvalidation); see invalidate.go.
+	deltaInval bool
+
 	// live is non-nil when the Recommender retains a mutable copy of its
 	// graph for streaming mutations; see live.go.
 	live *liveState
@@ -402,8 +406,10 @@ func (r *Recommender) buildStateFromSnap(snap graph.Store, epoch uint64) (*snapS
 // a fresh snapshot of g, recomputing the sensitivity and smoothing weight
 // for the new graph. In-flight requests keep using the snapshot they
 // started with; new requests see the new one. The utility-vector cache (if
-// enabled) advances to a new epoch, lazily invalidating every entry of the
-// old snapshot — serving continues without a stop-the-world flush.
+// enabled) advances to a new epoch and is fully flushed — g is an arbitrary
+// unrelated graph, so unlike a live Rebuild there is no delta batch to
+// drive retention (see invalidate.go) — but serving continues without a
+// stop-the-world pause.
 func (r *Recommender) RefreshSnapshot(g *Graph) error {
 	if g == nil {
 		return ErrNilGraph
@@ -414,9 +420,13 @@ func (r *Recommender) RefreshSnapshot(g *Graph) error {
 	st, err := func() (*snapState, error) {
 		r.refreshMu.Lock()
 		defer r.refreshMu.Unlock()
-		st, err := r.buildState(g, r.state.Load().epoch+1)
+		cur := r.state.Load()
+		st, err := r.buildState(g, cur.epoch+1)
 		if err != nil {
 			return nil, err
+		}
+		if c := r.cache.Load(); c != nil {
+			c.advance(cur.epoch, st.epoch, nil)
 		}
 		r.state.Store(st)
 		return st, nil
@@ -434,7 +444,7 @@ func (r *Recommender) RefreshSnapshot(g *Graph) error {
 // recommendation; it only skips recomputation of the deterministic
 // pre-noise stage.
 func (r *Recommender) EnableCache(size int) {
-	r.cache.CompareAndSwap(nil, newVectorCache(size))
+	r.cache.CompareAndSwap(nil, newVectorCache(size, r.deltaInval))
 }
 
 // CacheStats returns a snapshot of the utility-vector cache's counters. The
