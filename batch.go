@@ -258,11 +258,13 @@ func (r *Recommender) Precompute(targets []int) int {
 				warmed.Add(1)
 				continue
 			}
-			cv, err := r.computeVector(st, target)
-			if err != nil {
+			// computeShared routes through the coalescer (sans deadline wait)
+			// when one is enabled, so warming a target a live request is
+			// already computing shares that work instead of duplicating it;
+			// the shared path also writes the cache entry.
+			if _, err := r.computeShared(st, c, target, true); err != nil {
 				continue
 			}
-			c.put(st.epoch, target, cv)
 			warmed.Add(1)
 		}
 	})

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -397,6 +398,25 @@ func (a *Accountant) RecommendAs(principal string, target int) (Recommendation, 
 	return rec, nil
 }
 
+// RecommendWithRNG is Recommend with caller-supplied randomness — the
+// serving layer passes each HTTP request its own Recommender.RequestRNG()
+// stream so coalesced duplicates draw independently. Budget semantics are
+// identical to Recommend: the charge lands before the query and is refunded
+// on failure, once per call, regardless of any pre-noise sharing.
+func (a *Accountant) RecommendWithRNG(target int, rng *rand.Rand) (Recommendation, error) {
+	eps := a.rec.Epsilon()
+	tok, err := a.charge(a.key(target), target, 1, eps)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	rec, err := a.rec.RecommendWithRNG(target, rng)
+	if err != nil {
+		a.refund(tok)
+		return Recommendation{}, err
+	}
+	return rec, nil
+}
+
 // RecommendTopK makes k private recommendations, charging ε for the whole
 // set (the top-k constructions in this library bound the full set's privacy
 // by the Recommender's ε; see Recommender.RecommendTopK).
@@ -412,6 +432,22 @@ func (a *Accountant) RecommendTopKAs(principal string, target, k int) ([]Recomme
 		return nil, err
 	}
 	recs, err := a.rec.RecommendTopK(target, k)
+	if err != nil {
+		a.refund(tok)
+		return nil, err
+	}
+	return recs, nil
+}
+
+// RecommendTopKWithRNG is RecommendTopK with caller-supplied randomness;
+// see RecommendWithRNG for why the serving layer uses it.
+func (a *Accountant) RecommendTopKWithRNG(target, k int, rng *rand.Rand) ([]Recommendation, error) {
+	eps := a.rec.Epsilon()
+	tok, err := a.charge(a.key(target), target, k, eps)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := a.rec.RecommendTopKWithRNG(target, k, rng)
 	if err != nil {
 		a.refund(tok)
 		return nil, err

@@ -4,7 +4,9 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"socialrec/internal/coalesce"
 	"socialrec/internal/mechanism"
 )
 
@@ -32,6 +34,97 @@ import (
 // DefaultCacheSize is the entry cap EnableCache uses when given a
 // non-positive size.
 const DefaultCacheSize = 4096
+
+// DefaultCoalesceWindow is the deadline window EnableCoalescing uses when
+// given a non-positive duration: long enough for a high-QPS burst of
+// duplicate targets to accumulate, short enough to stay invisible next to
+// network round-trip times.
+const DefaultCoalesceWindow = time.Millisecond
+
+// coalKey identifies one shareable pre-noise computation: a target under a
+// specific snapshot epoch. Epoch-keying keeps a request that raced past a
+// snapshot swap from being handed a vector computed on the other side of
+// it — groups never mix snapshots, mirroring the cache's (epoch, target)
+// keying.
+type coalKey struct {
+	epoch  uint64
+	target int
+}
+
+// targetCoalescer coalesces concurrent pre-noise computations per
+// (epoch, target); see internal/coalesce and the "Request coalescing"
+// section of doc.go.
+type targetCoalescer = coalesce.Coalescer[coalKey, *cachedVector]
+
+// CoalesceStats is a point-in-time snapshot of the request coalescer's
+// counters, exposed for operational monitoring (recserver's /healthz).
+type CoalesceStats struct {
+	// Requests counts pre-noise computations requested through the
+	// coalescer (cache hits never reach it).
+	Requests uint64 `json:"requests"`
+	// Groups counts coalesce groups formed — shared computations actually
+	// executed, one per group.
+	Groups uint64 `json:"groups"`
+	// Shared counts requests that joined an existing group and skipped the
+	// computation; Requests == Groups + Shared.
+	Shared uint64 `json:"shared"`
+	// WindowNs is the configured deadline window in nanoseconds.
+	WindowNs int64 `json:"window_ns"`
+}
+
+// EnableCoalescing turns on deadline-based coalescing of the pre-noise
+// serving stage with the given window (DefaultCoalesceWindow when window
+// <= 0). Like EnableCache it is first-wins: a no-op if coalescing is
+// already enabled. Coalescing shares only the deterministic pre-noise
+// computation between concurrent requests for the same target — every
+// request still draws its own noise afterwards — so it never changes any
+// recommendation's distribution; see doc.go.
+func (r *Recommender) EnableCoalescing(window time.Duration) {
+	if window <= 0 {
+		window = DefaultCoalesceWindow
+	}
+	r.coal.CompareAndSwap(nil, coalesce.New[coalKey, *cachedVector](window))
+}
+
+// CoalesceStats returns the request coalescer's counters. The second
+// return is false when coalescing is not enabled.
+func (r *Recommender) CoalesceStats() (CoalesceStats, bool) {
+	co := r.coal.Load()
+	if co == nil {
+		return CoalesceStats{}, false
+	}
+	st := co.Stats()
+	return CoalesceStats{
+		Requests: st.Requests,
+		Groups:   st.Groups,
+		Shared:   st.Shared,
+		WindowNs: int64(co.Window()),
+	}, true
+}
+
+// computeShared runs the deterministic pre-noise stage for target and
+// populates the cache (when one is enabled). It is the single entry point
+// serving misses and cache warmers go through: with coalescing enabled,
+// concurrent calls for the same (epoch, target) share one computation —
+// warmers via DoNow (no deadline wait), serving misses via Do (deadline
+// window, so a duplicate burst accumulates into one group).
+func (r *Recommender) computeShared(st *snapState, c *vectorCache, target int, warm bool) (*cachedVector, error) {
+	compute := func() (*cachedVector, error) {
+		cv, err := r.computeVector(st, target)
+		if err == nil && c != nil {
+			c.put(st.epoch, target, cv)
+		}
+		return cv, err
+	}
+	co := r.coal.Load()
+	if co == nil {
+		return compute()
+	}
+	if warm {
+		return co.DoNow(coalKey{epoch: st.epoch, target: target}, compute)
+	}
+	return co.Do(coalKey{epoch: st.epoch, target: target}, compute)
+}
 
 // cacheShardCount must be a power of two; 16 shards keep contention low at
 // typical server parallelism without wasting memory on tiny graphs.

@@ -56,6 +56,10 @@ type serveBenchResult struct {
 	Accountant accountantBenchResult `json:"accountant"`
 
 	LiveChurn liveChurnResult `json:"live_churn"`
+
+	Coalesce coalesceBenchResult `json:"coalesce"`
+
+	Loadtest loadtestResult `json:"loadtest"`
 }
 
 // liveChurnResult measures the rebuild cache-wipe cliff: a live graph under
@@ -606,6 +610,14 @@ func runServeBench(opts experiment.SuiteOptions, outPath string, quick bool) err
 		return err
 	}
 
+	if res.Coalesce, err = runCoalesceBench(g, quick); err != nil {
+		return err
+	}
+
+	if res.Loadtest, err = runLoadtestBench(g, quick); err != nil {
+		return err
+	}
+
 	f, err := os.Create(outPath)
 	if err != nil {
 		return err
@@ -665,6 +677,27 @@ func runServeBench(opts experiment.SuiteOptions, outPath string, quick bool) err
 		// here means the batch path lost its scheduling or dedup win.
 		return fmt.Errorf("batch guardrail: batch %.0f ns/op not faster than sequential (%.2fx, want > 1.0)",
 			res.BatchNsOp, res.BatchSpeedup)
+	}
+	co := res.Coalesce
+	fmt.Printf("coalesce (%d workers x %d reqs over %d hubs, %gµs window): uncoalesced %.0f ns/op vs coalesced %.0f ns/op (%.1fx); %d groups, %.0f%% shared\n",
+		co.Workers, co.Requests, co.HotTargets, co.WindowUs,
+		co.UncoalescedNsOp, co.CoalescedNsOp, co.Speedup, co.Groups, 100*co.SharedRatio)
+	if quick && co.CoalescedNsOp > co.UncoalescedNsOp {
+		// Same ratio-only guardrail as the others: on the duplicate-heavy
+		// burst the coalescer is built for, sharing the pre-noise stage must
+		// not lose to computing it per request.
+		return fmt.Errorf("coalesce guardrail: coalesced %.0f ns/op slower than uncoalesced %.0f ns/op (%.2fx, want >= 1.0)",
+			co.CoalescedNsOp, co.UncoalescedNsOp, co.Speedup)
+	}
+	lt := res.Loadtest
+	fmt.Printf("loadtest (%d hot targets, zipf %g): offered %.0f qps, achieved %.0f qps, %s; saturation %.0f qps @ %d workers\n",
+		lt.HotTargets, lt.ZipfS, lt.OpenLoop.OfferedQPS, lt.OpenLoop.AchievedQPS,
+		lt.OpenLoop.Latency, lt.SaturationQPS, lt.SaturationWorkers)
+	if quick && (lt.OpenLoop.Completed == 0 || lt.SaturationQPS <= 0) {
+		// The HTTP stack under open-loop load must actually serve: zero
+		// completions means the server, the driver, or the wiring is broken.
+		return fmt.Errorf("loadtest guardrail: completed %d of %d offered, saturation %.0f qps",
+			lt.OpenLoop.Completed, lt.OpenLoop.Offered, lt.SaturationQPS)
 	}
 	return nil
 }

@@ -1,0 +1,236 @@
+// Command recload is an open-loop load generator for the recommendation
+// service: it offers requests at a fixed rate (arrivals scheduled up front,
+// independent of completions), records each request's latency from its
+// scheduled arrival — so server stalls surface as queueing delay in the
+// tail instead of silently slowing the offered load (the
+// coordinated-omission artifact; see internal/load) — and reports
+// p50/p90/p99/p99.9 latency plus achieved throughput as JSON.
+//
+// Target popularity is Zipf-distributed (-zipf-s), the duplicate-heavy
+// shape of real recommendation traffic and the workload the serving path's
+// cache and request coalescer are built for. A -mutate-frac of the requests
+// are graph writes (POST /edges), exercising the live-mutation path under
+// read load.
+//
+// Usage:
+//
+//	recload -addr http://localhost:8080 -qps 500 -duration 30s
+//	recload -inproc -qps 1000 -duration 10s -coalesce-window 1ms
+//	recload -inproc -qps 200 -duration 2s -mutate-frac 0.05 -saturate 2s
+//
+// With -addr it drives an already-running recserve. With -inproc it
+// self-hosts a server over a synthetic power-law graph (no external process
+// or port needed — this is what the CI smoke uses) honoring -nodes, -edges,
+// -cache, and -coalesce-window; budgets are disabled so the run is never
+// throttled by ε accounting.
+//
+// A request counts as failed on a transport error or a 5xx; 4xx responses
+// (hopeless targets, duplicate edges) count as completed — the server
+// answered. The exit status is non-zero if nothing completed, so a smoke
+// run asserts live throughput by construction.
+//
+// With -saturate > 0, after the open-loop run a closed-loop probe hammers
+// the server with -saturate-workers for that long and reports the achieved
+// rate as saturation_qps — the capacity number to size deployments against.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"socialrec"
+	"socialrec/internal/distribution"
+	"socialrec/internal/load"
+	"socialrec/internal/recserver"
+)
+
+// report is recload's JSON output: the open-loop measurement plus the
+// optional saturation probe and a status-class breakdown.
+type report struct {
+	Target   string      `json:"target"`
+	ZipfS    float64     `json:"zipf_s"`
+	K        int         `json:"k"`
+	Mutate   float64     `json:"mutate_frac"`
+	OpenLoop load.Report `json:"open_loop"`
+	// Status2xx/4xx/5xx classify responses; transport errors (connection
+	// refused, timeouts) are counted separately.
+	Status2xx       int64   `json:"status_2xx"`
+	Status4xx       int64   `json:"status_4xx"`
+	Status5xx       int64   `json:"status_5xx"`
+	TransportErrors int64   `json:"transport_errors"`
+	SaturationQPS   float64 `json:"saturation_qps,omitempty"`
+	SaturationReqs  int64   `json:"saturation_requests,omitempty"`
+	SaturationWkrs  int     `json:"saturation_workers,omitempty"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "base URL of a running server, e.g. http://localhost:8080 (this or -inproc)")
+		inproc   = flag.Bool("inproc", false, "self-host a server over a synthetic graph instead of targeting -addr")
+		nodes    = flag.Int("nodes", 5000, "synthetic graph nodes (with -inproc)")
+		edges    = flag.Int("edges", 25000, "synthetic graph edges (with -inproc)")
+		cache    = flag.Int("cache", socialrec.DefaultCacheSize, "utility-vector cache entries (with -inproc; 0 disables)")
+		coalesce = flag.Duration("coalesce-window", 0, "request-coalescing deadline window (with -inproc; 0 disables)")
+		qps      = flag.Float64("qps", 200, "offered request rate")
+		duration = flag.Duration("duration", 10*time.Second, "open-loop run length")
+		workers  = flag.Int("workers", load.DefaultWorkers, "max in-flight requests")
+		zipfS    = flag.Float64("zipf-s", 1.2, "Zipf exponent of target popularity (larger = hotter head)")
+		k        = flag.Int("k", 1, "recommendations per request (k=1 uses the single-draw path)")
+		mutate   = flag.Float64("mutate-frac", 0, "fraction of requests that are edge insertions (needs a -live server, or -inproc)")
+		seed     = flag.Int64("seed", 1, "workload seed (targets and mutation endpoints)")
+		saturate = flag.Duration("saturate", 0, "closed-loop saturation probe length after the open-loop run (0 skips)")
+		satWkrs  = flag.Int("saturate-workers", 64, "closed-loop probe concurrency (with -saturate)")
+		out      = flag.String("out", "", "write the JSON report here instead of stdout")
+	)
+	flag.Parse()
+	if (*addr == "") == !*inproc {
+		fmt.Fprintln(os.Stderr, "recload: exactly one of -addr and -inproc is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *mutate < 0 || *mutate >= 1 {
+		log.Fatalf("recload: -mutate-frac %g must be in [0, 1)", *mutate)
+	}
+
+	base := *addr
+	numNodes := *nodes
+	if *inproc {
+		g, err := socialrec.GenerateSocialGraph(*nodes, *edges, *seed)
+		if err != nil {
+			log.Fatalf("recload: generating graph: %v", err)
+		}
+		opts := []socialrec.Option{socialrec.WithEpsilon(1), socialrec.WithSeed(*seed)}
+		if *mutate > 0 {
+			opts = append(opts, socialrec.WithLiveMutations())
+		}
+		rec, err := socialrec.NewRecommender(g, opts...)
+		if err != nil {
+			log.Fatalf("recload: %v", err)
+		}
+		defer rec.Close()
+		srv, err := recserver.New(recserver.Config{
+			Recommender:    rec,
+			CacheSize:      *cache,
+			CoalesceWindow: *coalesce,
+			MaxK:           max(*k, 10),
+			Logf:           func(string, ...any) {}, // per-request noise would drown the report
+		})
+		if err != nil {
+			log.Fatalf("recload: %v", err)
+		}
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		base = ts.URL
+	}
+	base = strings.TrimRight(base, "/")
+
+	// The whole request schedule is materialized up front from one seeded
+	// RNG: reruns with the same flags offer the identical target sequence,
+	// and workers index into it without coordination.
+	zipf, err := distribution.NewZipf(numNodes, *zipfS)
+	if err != nil {
+		log.Fatalf("recload: zipf: %v", err)
+	}
+	rng := distribution.NewRNG(*seed)
+	total := int(*qps*duration.Seconds()+0.5) + 1
+	paths := make([]string, total)
+	recPath := "/v1/recommend?k=" + strconv.Itoa(*k) + "&target="
+	for i := range paths {
+		if *mutate > 0 && rng.Float64() < *mutate {
+			paths[i] = "" // marks a mutation; endpoints drawn per request below
+		} else {
+			paths[i] = recPath + strconv.Itoa(zipf.Sample(rng)-1)
+		}
+	}
+	// Mutation endpoints are pre-drawn too (uniform pairs; duplicates give
+	// 409, counted as completed).
+	mutFrom := make([]int, total)
+	mutTo := make([]int, total)
+	for i := range mutFrom {
+		mutFrom[i] = rng.Intn(numNodes)
+		mutTo[i] = rng.Intn(numNodes)
+	}
+
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        *workers + *satWkrs,
+			MaxIdleConnsPerHost: *workers + *satWkrs,
+		},
+	}
+	var s2xx, s4xx, s5xx, transport atomic.Int64
+	do := func(i int) error {
+		var (
+			resp *http.Response
+			err  error
+		)
+		if paths[i%total] == "" {
+			url := fmt.Sprintf("%s/edges?from=%d&to=%d", base, mutFrom[i%total], mutTo[i%total])
+			resp, err = client.Post(url, "application/json", nil)
+		} else {
+			resp, err = client.Get(base + paths[i%total])
+		}
+		if err != nil {
+			transport.Add(1)
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode < 300:
+			s2xx.Add(1)
+			return nil
+		case resp.StatusCode < 500:
+			s4xx.Add(1)
+			return nil // the server answered; not a failure
+		default:
+			s5xx.Add(1)
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+	}
+
+	rep := report{Target: base, ZipfS: *zipfS, K: *k, Mutate: *mutate}
+	rep.OpenLoop, err = load.Run(load.Config{QPS: *qps, Duration: *duration, Workers: *workers, Do: do})
+	if err != nil {
+		log.Fatalf("recload: %v", err)
+	}
+	if *saturate > 0 {
+		n, satQPS, err := load.Saturate(*satWkrs, *saturate, do)
+		if err != nil {
+			log.Fatalf("recload: saturation probe: %v", err)
+		}
+		rep.SaturationReqs, rep.SaturationQPS, rep.SaturationWkrs = n, satQPS, *satWkrs
+	}
+	rep.Status2xx, rep.Status4xx, rep.Status5xx = s2xx.Load(), s4xx.Load(), s5xx.Load()
+	rep.TransportErrors = transport.Load()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("recload: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatalf("recload: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "recload: %s: offered %.0f qps, achieved %.0f qps, %s\n",
+		base, rep.OpenLoop.OfferedQPS, rep.OpenLoop.AchievedQPS, rep.OpenLoop.Latency)
+	if rep.OpenLoop.Completed == 0 {
+		log.Fatal("recload: no request completed")
+	}
+}

@@ -59,6 +59,43 @@
 // budgets additively regardless of cache hits), because the mechanism draw,
 // not the utility computation, is what consumes the budget.
 //
+// # Request coalescing
+//
+// Caching amortizes repeated targets across time; coalescing
+// (WithCoalescing, EnableCoalescing, recserve -coalesce-window) amortizes
+// them across concurrent requests. The first request for an (epoch, target)
+// pair becomes a group leader and waits out a short deadline window
+// (DefaultCoalesceWindow, 1ms) while duplicate requests accumulate; the
+// leader then runs the pre-noise stage once and every member of the group
+// reuses it. This is a Nagle-style latency/throughput trade aimed at the
+// Zipf-popular targets of real recommendation traffic: under a hot-target
+// burst, hundreds of cache misses collapse into one computation instead of
+// stampeding, at the cost of up to one window of added latency. A plain
+// singleflight only merges requests overlapping an in-progress computation,
+// which on a fast pre-noise stage is nearly never; the deadline window is
+// what makes merging happen at serving QPS.
+//
+// Coalescing is DP-safe by the same argument as caching, applied across
+// requests instead of across time. What the group shares is exactly the
+// deterministic pre-processing stage — utility support, candidate count,
+// tail table, sparse CDF — a pure function of the public snapshot and
+// (ε, Δf). What it never shares is randomness: each member draws its own
+// noise from its own RNG stream after the shared stage returns, so the
+// joint output distribution over a group of k requests is the product of k
+// independent mechanism draws — identical to k uncoalesced requests. With
+// no concurrent duplicates every group is a singleton and the served bytes
+// are bit-identical to the uncoalesced path under fixed seeds; both
+// properties are pinned by tests (a chi-squared comparison of concurrent
+// coalesced draws against the sequential distribution, and byte-equality of
+// sequential coalesced serving).
+//
+// Budgeting is likewise untouched: ε is charged per request served, never
+// per group, because each member releases its own mechanism draw. Ten
+// coalesced requests for one target cost 10ε exactly as ten uncoalesced
+// ones do. Precompute routes its warming through the same coalescer
+// (without the deadline wait), so bulk warming and live serving of the same
+// target share one computation instead of racing.
+//
 // # Budget accounting
 //
 // The paper's guarantee is stated per user: Definition 1 bounds how much

@@ -1,0 +1,149 @@
+// Package coalesce collapses concurrent duplicate work behind a
+// deadline-based request coalescer: the first request for a key opens a
+// group and waits out a short window while identical requests accumulate,
+// then runs the shared computation exactly once and hands every member of
+// the group the same result.
+//
+// It generalizes singleflight in one load-bearing way: a plain singleflight
+// only merges requests that overlap an *in-progress* computation, so when
+// the shared stage is fast relative to the inter-arrival time nothing ever
+// merges. The deadline window deliberately holds the group leader for a
+// configurable interval (a Nagle-style latency/throughput trade), so that
+// under high-QPS duplicate-heavy traffic — the Zipf-popular targets of a
+// recommendation service — hundreds of requests share one computation
+// instead of stampeding.
+//
+// Membership closes when the shared computation finishes, not when the
+// window elapses: requests arriving while the leader is still computing
+// join the group and reuse its result, so a member's added latency is
+// bounded by window + compute either way.
+//
+// The coalescer shares only the computation's *result value*; it draws no
+// randomness and retains nothing after the group completes. Callers that
+// need per-request randomness (DP noise draws) apply it after Do returns,
+// which is what keeps coalescing privacy-neutral in the serving path (see
+// the socialrec doc.go "Request coalescing" section).
+package coalesce
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrPanicked is returned to group followers when the leader's shared
+// computation panicked: the panic propagates on the leader's goroutine (so
+// the caller's recovery machinery sees it), while followers get this error
+// instead of blocking forever.
+var ErrPanicked = errors.New("coalesce: shared computation panicked")
+
+// Stats is a point-in-time snapshot of a Coalescer's cumulative counters.
+type Stats struct {
+	// Requests counts every Do/DoNow call.
+	Requests uint64 `json:"requests"`
+	// Groups counts groups formed — equivalently, shared computations
+	// actually executed (each group runs its computation exactly once).
+	Groups uint64 `json:"groups"`
+	// Shared counts requests that joined an existing group and therefore
+	// skipped the computation entirely. Requests == Groups + Shared.
+	Shared uint64 `json:"shared"`
+}
+
+// Coalescer groups concurrent requests by key. The zero value is not
+// usable; construct with New. A Coalescer is safe for concurrent use and
+// has no background goroutines — all waiting happens on caller goroutines,
+// so there is nothing to close.
+type Coalescer[K comparable, V any] struct {
+	window time.Duration
+
+	mu     sync.Mutex
+	groups map[K]*group[V]
+
+	requests atomic.Uint64
+	formed   atomic.Uint64
+	shared   atomic.Uint64
+}
+
+type group[V any] struct {
+	done chan struct{} // closed once val/err are set
+	val  V
+	err  error
+}
+
+// New returns a Coalescer whose group leaders wait out window before
+// running the shared computation. A non-positive window disables the
+// deadline wait (pure singleflight merging).
+func New[K comparable, V any](window time.Duration) *Coalescer[K, V] {
+	if window < 0 {
+		window = 0
+	}
+	return &Coalescer[K, V]{window: window, groups: make(map[K]*group[V])}
+}
+
+// Window returns the configured deadline window.
+func (c *Coalescer[K, V]) Window() time.Duration { return c.window }
+
+// Do returns compute()'s result for key, sharing one execution among every
+// request for the same key that is in flight together: the first caller
+// becomes the group leader, sleeps out the deadline window while duplicates
+// accumulate, runs compute once, and broadcasts the result; later callers
+// block until the leader finishes and receive the same (V, error) without
+// running compute. The returned V may be shared across goroutines and must
+// be treated as immutable.
+func (c *Coalescer[K, V]) Do(key K, compute func() (V, error)) (V, error) {
+	return c.do(key, compute, true)
+}
+
+// DoNow is Do without the deadline wait: the leader computes immediately.
+// Concurrent duplicates still join and share the result. Cache warmers use
+// it so that bulk precomputation does not serialize on the window while
+// still deduplicating against live serving traffic.
+func (c *Coalescer[K, V]) DoNow(key K, compute func() (V, error)) (V, error) {
+	return c.do(key, compute, false)
+}
+
+func (c *Coalescer[K, V]) do(key K, compute func() (V, error), wait bool) (V, error) {
+	c.requests.Add(1)
+	c.mu.Lock()
+	if g, ok := c.groups[key]; ok {
+		c.mu.Unlock()
+		c.shared.Add(1)
+		<-g.done
+		return g.val, g.err
+	}
+	g := &group[V]{done: make(chan struct{})}
+	c.groups[key] = g
+	c.mu.Unlock()
+	c.formed.Add(1)
+
+	if wait && c.window > 0 {
+		time.Sleep(c.window)
+	}
+	// The group leaves the map and wakes its followers even if compute
+	// panics: the panic itself propagates on the leader's goroutine (the
+	// serving layer's recovery middleware turns it into a 500), while
+	// followers get ErrPanicked instead of a forever-blocked channel.
+	completed := false
+	defer func() {
+		if !completed {
+			g.err = ErrPanicked
+		}
+		c.mu.Lock()
+		delete(c.groups, key)
+		c.mu.Unlock()
+		close(g.done)
+	}()
+	g.val, g.err = compute()
+	completed = true
+	return g.val, g.err
+}
+
+// Stats returns the cumulative counters.
+func (c *Coalescer[K, V]) Stats() Stats {
+	return Stats{
+		Requests: c.requests.Load(),
+		Groups:   c.formed.Load(),
+		Shared:   c.shared.Load(),
+	}
+}

@@ -1,0 +1,199 @@
+package coalesce
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConcurrentRequestsShareOneComputation is the core contract: K
+// requests for the same key in flight together run compute exactly once
+// and all observe its result.
+func TestConcurrentRequestsShareOneComputation(t *testing.T) {
+	c := New[string, int](50 * time.Millisecond)
+	var computes atomic.Int64
+	const workers = 32
+
+	var wg sync.WaitGroup
+	results := make([]int, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Do("hot", func() (int, error) {
+				computes.Add(1)
+				return 42, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil || results[i] != 42 {
+			t.Fatalf("worker %d: got (%d, %v), want (42, nil)", i, results[i], errs[i])
+		}
+	}
+	st := c.Stats()
+	if st.Requests != workers || st.Groups != 1 || st.Shared != workers-1 {
+		t.Fatalf("stats = %+v, want {Requests:%d Groups:1 Shared:%d}", st, workers, workers-1)
+	}
+}
+
+// TestDistinctKeysDoNotShare: different keys never merge.
+func TestDistinctKeysDoNotShare(t *testing.T) {
+	c := New[int, int](20 * time.Millisecond)
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Do(i, func() (int, error) {
+				computes.Add(1)
+				return i * 10, nil
+			})
+			if err != nil || v != i*10 {
+				t.Errorf("key %d: got (%d, %v)", i, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := computes.Load(); got != 8 {
+		t.Fatalf("computes = %d, want 8", got)
+	}
+}
+
+// TestSequentialRequestsFormSeparateGroups: once a group completes, the next
+// request for the same key starts a fresh group (results are not cached).
+func TestSequentialRequestsFormSeparateGroups(t *testing.T) {
+	c := New[string, int](0)
+	var computes atomic.Int64
+	for i := 0; i < 3; i++ {
+		if _, err := c.Do("k", func() (int, error) {
+			computes.Add(1)
+			return 0, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := computes.Load(); got != 3 {
+		t.Fatalf("computes = %d, want 3 (coalescer must not memoize)", got)
+	}
+	if st := c.Stats(); st.Groups != 3 || st.Shared != 0 {
+		t.Fatalf("stats = %+v, want 3 groups, 0 shared", st)
+	}
+}
+
+// TestErrorBroadcast: a failing computation delivers the same error to every
+// group member.
+func TestErrorBroadcast(t *testing.T) {
+	c := New[string, int](30 * time.Millisecond)
+	sentinel := errors.New("boom")
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Do("k", func() (int, error) { return 0, sentinel })
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("worker %d: err = %v, want %v", i, err, sentinel)
+		}
+	}
+}
+
+// TestLeaderPanicWakesFollowers: a panicking leader must re-raise on its own
+// goroutine and release followers with ErrPanicked rather than deadlocking
+// them.
+func TestLeaderPanicWakesFollowers(t *testing.T) {
+	c := New[string, int](40 * time.Millisecond)
+	followerErr := make(chan error, 1)
+	leaderStarted := make(chan struct{})
+
+	go func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader panic did not propagate")
+			}
+		}()
+		close(leaderStarted)
+		_, _ = c.Do("k", func() (int, error) { panic("kaboom") })
+	}()
+	<-leaderStarted
+	time.Sleep(5 * time.Millisecond) // let the leader take ownership of the group
+	go func() {
+		_, err := c.Do("k", func() (int, error) { return 7, nil })
+		followerErr <- err
+	}()
+
+	select {
+	case err := <-followerErr:
+		// The follower either joined the doomed group (ErrPanicked) or, if
+		// it lost the race and opened its own group, computed normally.
+		if err != nil && !errors.Is(err, ErrPanicked) {
+			t.Fatalf("follower err = %v, want nil or ErrPanicked", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower deadlocked after leader panic")
+	}
+}
+
+// TestDoNowSkipsWindow: DoNow must not pay the deadline wait.
+func TestDoNowSkipsWindow(t *testing.T) {
+	c := New[string, int](300 * time.Millisecond)
+	start := time.Now()
+	if _, err := c.DoNow("k", func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("DoNow waited %v; the window must be skipped", elapsed)
+	}
+}
+
+// TestJoinDuringCompute: a request arriving after the window but before the
+// computation finishes still shares its result.
+func TestJoinDuringCompute(t *testing.T) {
+	c := New[string, int](0)
+	inCompute := make(chan struct{})
+	release := make(chan struct{})
+	var computes atomic.Int64
+
+	go func() {
+		_, _ = c.Do("k", func() (int, error) {
+			computes.Add(1)
+			close(inCompute)
+			<-release
+			return 9, nil
+		})
+	}()
+	<-inCompute
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err := c.Do("k", func() (int, error) {
+			computes.Add(1)
+			return -1, nil
+		})
+		if err != nil || v != 9 {
+			t.Errorf("late joiner got (%d, %v), want (9, nil)", v, err)
+		}
+	}()
+	// Give the joiner time to reach the group, then let the leader finish.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	<-done
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computes = %d, want 1 (joiner must reuse in-progress work)", got)
+	}
+}

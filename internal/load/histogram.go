@@ -1,0 +1,171 @@
+// Package load is the open-loop load-generation harness behind cmd/recload
+// and recbench's loadtest scenario: an HDR-style concurrent latency
+// histogram, an open-loop (constant-rate) request driver that measures
+// latency from each request's *scheduled* arrival time, and a closed-loop
+// saturation probe.
+//
+// Open loop versus closed loop is the load-testing distinction that decides
+// whether tail latencies mean anything. A closed-loop driver (fixed worker
+// pool, next request issued when the previous returns) slows its own
+// arrival rate exactly when the server stalls, so the stall never shows up
+// in the percentiles — the coordinated-omission artifact. The open-loop
+// driver here fixes the arrival schedule up front (request i is due at
+// start + i/QPS, independent of every other request's fate) and charges
+// each request the time from its scheduled arrival to its completion:
+// a stalled server makes later requests queue behind their own due times,
+// and that queueing delay lands in the recorded tail, as it would for the
+// real users who arrived on schedule.
+package load
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry: values below subCount nanoseconds are recorded
+// exactly; above that, each power-of-two range splits into subCount/2
+// linear subbuckets, bounding the relative quantization error at
+// 2/subCount (~3%). The exponent range covers int64 nanoseconds (~292
+// years), so no duration overflows the table.
+const (
+	histSubBits  = 6
+	histSubCount = 1 << histSubBits
+	histExpCount = 64 - histSubBits
+	histBuckets  = histExpCount * histSubCount
+)
+
+// Histogram is a fixed-size log-linear latency histogram safe for
+// concurrent recording: Record is two atomic adds and never allocates, so
+// worker goroutines record in the hot path without coordination. Quantile
+// reads are approximate snapshots — concurrent Records may or may not be
+// included — which is what a load generator wants (exact cut-offs are
+// meaningless while traffic is still arriving).
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a nanosecond value to its bucket: exact below
+// histSubCount, log-linear above.
+func bucketIndex(ns int64) int {
+	u := uint64(ns)
+	if u < histSubCount {
+		return int(u)
+	}
+	exp := bits.Len64(u) - histSubBits
+	return exp*histSubCount + int(u>>uint(exp))
+}
+
+// bucketValue is the midpoint of bucket i's value range — the
+// representative reported by Quantile.
+func bucketValue(i int) int64 {
+	exp := i / histSubCount
+	sub := int64(i % histSubCount)
+	if exp == 0 {
+		return sub
+	}
+	return sub<<uint(exp) + int64(1)<<uint(exp-1)
+}
+
+// Record adds one latency observation. Negative durations (a request
+// completing before its scheduled arrival cannot happen, but clock
+// weirdness can) clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Max returns the largest recorded value (exact, not bucketized).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the arithmetic mean of recorded values (exact).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the recorded values, to
+// within the bucket quantization (~3% relative). Quantile(1) returns the
+// exact maximum. The answer is 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	if q < 0 {
+		q = 0
+	}
+	// rank is the 1-based index of the order statistic to report.
+	rank := int64(q*float64(n-1)) + 1
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			v := bucketValue(i)
+			if m := h.max.Load(); v > m {
+				v = m // the top bucket's midpoint can overshoot the true max
+			}
+			return time.Duration(v)
+		}
+	}
+	return h.Max()
+}
+
+// Snapshot summarizes the histogram into the fixed percentile set the
+// latency reports carry.
+func (h *Histogram) Snapshot() LatencySummary {
+	return LatencySummary{
+		P50Ms:  ms(h.Quantile(0.50)),
+		P90Ms:  ms(h.Quantile(0.90)),
+		P99Ms:  ms(h.Quantile(0.99)),
+		P999Ms: ms(h.Quantile(0.999)),
+		MaxMs:  ms(h.Max()),
+		MeanMs: ms(h.Mean()),
+	}
+}
+
+// LatencySummary is the JSON form of a latency distribution, in
+// milliseconds (float, so sub-millisecond latencies keep their precision).
+type LatencySummary struct {
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// String renders the summary for log lines.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("p50 %.2fms p90 %.2fms p99 %.2fms p99.9 %.2fms max %.2fms",
+		s.P50Ms, s.P90Ms, s.P99Ms, s.P999Ms, s.MaxMs)
+}

@@ -1,0 +1,200 @@
+package load
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramExactBelowSubCount: nanosecond values below the linear range
+// bound are recorded and reported exactly.
+func TestHistogramExactBelowSubCount(t *testing.T) {
+	h := NewHistogram()
+	for v := 0; v < histSubCount; v++ {
+		h.Record(time.Duration(v))
+	}
+	if h.Count() != histSubCount {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("q0 = %v, want 0", got)
+	}
+	if got := h.Max(); got != histSubCount-1 {
+		t.Errorf("max = %v, want %d", got, histSubCount-1)
+	}
+}
+
+// TestHistogramQuantileError: for values across many orders of magnitude,
+// the reported quantile is within the documented ~3% relative error of the
+// exact order statistic.
+func TestHistogramQuantileError(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over [1µs, 10s].
+		ns := math.Exp(rng.Float64()*math.Log(1e10/1e3)) * 1e3
+		vals = append(vals, ns)
+		h.Record(time.Duration(ns))
+	}
+	exact := append([]float64(nil), vals...)
+	sortFloat64s(exact)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := exact[int(q*float64(len(exact)-1))]
+		got := float64(h.Quantile(q))
+		if rel := math.Abs(got-want) / want; rel > 0.04 {
+			t.Errorf("q%.3f = %.0f, exact %.0f, rel err %.3f > 0.04", q, got, want, rel)
+		}
+	}
+}
+
+func sortFloat64s(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}
+
+// TestHistogramConcurrentRecord: concurrent Records lose nothing (run with
+// -race to check safety too).
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(w*per+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	wantMax := time.Duration(workers*per-1) * time.Microsecond
+	if h.Max() != wantMax {
+		t.Errorf("max = %v, want %v", h.Max(), wantMax)
+	}
+}
+
+// TestRunOffersScheduledLoad: a fast server completes every scheduled
+// request at roughly the offered rate.
+func TestRunOffersScheduledLoad(t *testing.T) {
+	rep, err := Run(Config{
+		QPS:      2000,
+		Duration: 250 * time.Millisecond,
+		Workers:  32,
+		Do:       func(i int) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered != 500 {
+		t.Errorf("offered = %d, want 500", rep.Offered)
+	}
+	if rep.Completed != rep.Offered || rep.Failed != 0 {
+		t.Errorf("completed %d / failed %d of %d", rep.Completed, rep.Failed, rep.Offered)
+	}
+	if rep.AchievedQPS < 0.5*rep.OfferedQPS {
+		t.Errorf("achieved %.0f qps, offered %.0f", rep.AchievedQPS, rep.OfferedQPS)
+	}
+	if rep.Latency.P50Ms > 50 {
+		t.Errorf("p50 %.1fms for a no-op server", rep.Latency.P50Ms)
+	}
+}
+
+// TestRunCountsFailures: Do errors land in Failed, and failed requests
+// still count toward the latency distribution.
+func TestRunCountsFailures(t *testing.T) {
+	boom := errors.New("boom")
+	rep, err := Run(Config{
+		QPS:      1000,
+		Duration: 100 * time.Millisecond,
+		Workers:  8,
+		Do: func(i int) error {
+			if i%2 == 0 {
+				return boom
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != rep.Offered/2 {
+		t.Errorf("failed = %d of %d, want half", rep.Failed, rep.Offered)
+	}
+	if rep.Completed+rep.Failed != rep.Offered {
+		t.Errorf("completed %d + failed %d != offered %d", rep.Completed, rep.Failed, rep.Offered)
+	}
+}
+
+// TestRunMeasuresQueueingFromSchedule: with one worker and a server slower
+// than the inter-arrival time, later requests queue behind their due times
+// and the tail must show the accumulated queueing delay, not just the
+// per-request service time — the coordinated-omission check.
+func TestRunMeasuresQueueingFromSchedule(t *testing.T) {
+	const service = 10 * time.Millisecond
+	rep, err := Run(Config{
+		QPS:      1000, // 1ms inter-arrival, 10x oversubscribed
+		Duration: 50 * time.Millisecond,
+		Workers:  1,
+		Do: func(i int) error {
+			time.Sleep(service)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last of ~50 requests waits ~49 service times past its due time.
+	// A closed-loop (coordinated-omission-blind) measurement would report
+	// every latency ~= service; demand a tail several times that.
+	if rep.Latency.MaxMs < 3*float64(service.Milliseconds()) {
+		t.Errorf("max latency %.1fms does not reflect queueing (service %.0fms)",
+			rep.Latency.MaxMs, float64(service.Milliseconds()))
+	}
+	if rep.AchievedQPS > 0.5*rep.OfferedQPS {
+		t.Errorf("achieved %.0f qps on a saturated single worker, offered %.0f", rep.AchievedQPS, rep.OfferedQPS)
+	}
+}
+
+// TestRunValidation: bad configs are rejected.
+func TestRunValidation(t *testing.T) {
+	do := func(i int) error { return nil }
+	for _, cfg := range []Config{
+		{QPS: 0, Duration: time.Second, Do: do},
+		{QPS: 100, Duration: 0, Do: do},
+		{QPS: 100, Duration: time.Second, Do: nil},
+	} {
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("Run(%+v) accepted", cfg)
+		}
+	}
+}
+
+// TestSaturate: the closed-loop probe reports positive throughput and
+// respects the duration bound.
+func TestSaturate(t *testing.T) {
+	start := time.Now()
+	completed, qps, err := Saturate(4, 100*time.Millisecond, func(i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if completed == 0 || qps <= 0 {
+		t.Errorf("completed %d, qps %.0f", completed, qps)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("probe ran %v, bound was 100ms", elapsed)
+	}
+	if _, _, err := Saturate(0, time.Second, nil); err == nil {
+		t.Error("invalid Saturate config accepted")
+	}
+}

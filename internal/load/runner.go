@@ -1,0 +1,151 @@
+package load
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config drives one open-loop run.
+type Config struct {
+	// QPS is the offered arrival rate (required, > 0). Request i is due at
+	// start + i/QPS regardless of how any other request fares.
+	QPS float64
+	// Duration is how long arrivals are scheduled for (required, > 0); the
+	// run offers round(QPS * Duration) requests and then drains.
+	Duration time.Duration
+	// Workers bounds in-flight requests (default DefaultWorkers). When all
+	// workers are busy, due requests queue — and their queueing delay is
+	// charged to their latency, which is the point of the open loop. Size
+	// it well above QPS * expected-latency so the bound only binds when
+	// the server is the bottleneck.
+	Workers int
+	// Do executes request i and reports whether it failed. It is called
+	// from many goroutines concurrently and must be safe for that.
+	Do func(i int) error
+}
+
+// DefaultWorkers is the in-flight bound when Config.Workers is 0.
+const DefaultWorkers = 128
+
+// Report is the outcome of one open-loop run.
+type Report struct {
+	// OfferedQPS is the configured arrival rate; Offered the number of
+	// requests scheduled.
+	OfferedQPS float64 `json:"offered_qps"`
+	Offered    int64   `json:"offered"`
+	// Completed counts requests whose Do returned nil; Failed the rest.
+	// Completed + Failed == Offered (every scheduled request runs).
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// AchievedQPS is Completed over the wall time from the first scheduled
+	// arrival to the last completion. A server keeping up reports
+	// AchievedQPS ~ OfferedQPS; a saturated one reports its actual
+	// capacity.
+	AchievedQPS float64 `json:"achieved_qps"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	// Latency is the distribution of scheduled-arrival-to-completion times
+	// over ALL requests (failed ones included: a user who got an error
+	// still waited for it).
+	Latency LatencySummary `json:"latency"`
+}
+
+// Run executes one open-loop run and blocks until every scheduled request
+// has completed.
+func Run(cfg Config) (Report, error) {
+	if !(cfg.QPS > 0) {
+		return Report{}, fmt.Errorf("load: QPS %g must be positive", cfg.QPS)
+	}
+	if cfg.Duration <= 0 {
+		return Report{}, fmt.Errorf("load: duration %v must be positive", cfg.Duration)
+	}
+	if cfg.Do == nil {
+		return Report{}, errors.New("load: Do is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	total := int64(cfg.QPS*cfg.Duration.Seconds() + 0.5)
+	if total < 1 {
+		total = 1
+	}
+	interarrival := float64(time.Second) / cfg.QPS
+
+	hist := NewHistogram()
+	var next, failed atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= total {
+					return
+				}
+				due := start.Add(time.Duration(float64(i) * interarrival))
+				if wait := time.Until(due); wait > 0 {
+					time.Sleep(wait)
+				}
+				err := cfg.Do(int(i))
+				hist.Record(time.Since(due))
+				if err != nil {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{
+		OfferedQPS: cfg.QPS,
+		Offered:    total,
+		Failed:     failed.Load(),
+		Completed:  total - failed.Load(),
+		ElapsedSec: elapsed.Seconds(),
+		Latency:    hist.Snapshot(),
+	}
+	if elapsed > 0 {
+		rep.AchievedQPS = float64(rep.Completed) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// Saturate measures saturation throughput with a closed loop: workers
+// goroutines issue requests back to back for the given duration, and the
+// achieved rate is the server's capacity under that concurrency. Closed
+// loops understate tails (see the package comment) — Saturate reports
+// throughput only, never latency.
+func Saturate(workers int, duration time.Duration, do func(i int) error) (completed int64, qps float64, err error) {
+	if workers <= 0 || duration <= 0 || do == nil {
+		return 0, 0, errors.New("load: Saturate needs positive workers, positive duration, and a Do func")
+	}
+	var seq, done atomic.Int64
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				i := seq.Add(1) - 1
+				if do(int(i)) == nil {
+					done.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	completed = done.Load()
+	if elapsed > 0 {
+		qps = float64(completed) / elapsed.Seconds()
+	}
+	return completed, qps, nil
+}

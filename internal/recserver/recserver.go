@@ -106,6 +106,16 @@ type Config struct {
 	// Server — this size is ignored. See the package comment for why
 	// caching is DP-safe.
 	CacheSize int
+	// CoalesceWindow enables deadline-based request coalescing on the
+	// Recommender: concurrent recommend/topk requests for the same target
+	// share one pre-noise computation (each still draws its own noise), with
+	// group leaders holding for this window so duplicate bursts accumulate.
+	// Zero leaves coalescing as configured on the Recommender itself;
+	// negative values enable the default window
+	// (socialrec.DefaultCoalesceWindow). Like CacheSize this mutates the
+	// shared Recommender and is first-wins. See the socialrec doc.go
+	// "Request coalescing" section for the DP-safety argument.
+	CoalesceWindow time.Duration
 	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof so
 	// hot-path regressions (serving latency, allocation spikes) are
 	// diagnosable against a production process. Default off: profiles
@@ -143,8 +153,12 @@ type Server struct {
 	// inflight is the load-shedding gate (nil when MaxInFlight is 0):
 	// a buffered channel used as a counting semaphore.
 	inflight chan struct{}
-	panics   atomic.Uint64
-	shed     atomic.Uint64
+	// inflightNow gauges requests currently being handled (excluding
+	// /healthz), whatever the MaxInFlight setting — operators tune the shed
+	// threshold against it via /healthz.
+	inflightNow atomic.Int64
+	panics      atomic.Uint64
+	shed        atomic.Uint64
 }
 
 // New validates the config and builds the server.
@@ -165,6 +179,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.CacheSize != 0 {
 		cfg.Recommender.EnableCache(cfg.CacheSize)
+	}
+	if cfg.CoalesceWindow != 0 {
+		cfg.Recommender.EnableCoalescing(cfg.CoalesceWindow)
 	}
 	if cfg.TotalEpsilon > 0 || cfg.PerPrincipalEpsilon > 0 {
 		// The server never reads the per-call audit ledger (budget
@@ -233,16 +250,20 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, http.StatusInternalServerError, "internal error")
 		}
 	}()
-	if s.inflight != nil && r.URL.Path != "/healthz" {
-		select {
-		case s.inflight <- struct{}{}:
-			defer func() { <-s.inflight }()
-		default:
-			s.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
-			s.writeError(w, http.StatusServiceUnavailable, "server overloaded, request shed")
-			return
+	if r.URL.Path != "/healthz" {
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				s.shed.Add(1)
+				w.Header().Set("Retry-After", "1")
+				s.writeError(w, http.StatusServiceUnavailable, "server overloaded, request shed")
+				return
+			}
 		}
+		s.inflightNow.Add(1)
+		defer s.inflightNow.Add(-1)
 	}
 	s.handler.ServeHTTP(w, r)
 }
@@ -275,6 +296,10 @@ type healthResponse struct {
 	// RequestsShed counts requests refused by the MaxInFlight gate.
 	PanicsRecovered uint64 `json:"panics_recovered"`
 	RequestsShed    uint64 `json:"requests_shed"`
+	// RequestsInflight gauges requests being handled right now (excluding
+	// /healthz itself) — the live occupancy the MaxInFlight shed threshold
+	// is tuned against.
+	RequestsInflight int64 `json:"requests_inflight"`
 	// SnapshotVersion is the epoch of the graph snapshot serving reads; it
 	// increments on every snapshot rebuild.
 	SnapshotVersion uint64 `json:"snapshot_version"`
@@ -282,6 +307,10 @@ type healthResponse struct {
 	// caching is disabled. Counters are aggregates over raw pre-processing
 	// reuse and reveal nothing about individual requests or edges.
 	Cache *socialrec.CacheStats `json:"cache,omitempty"`
+	// Coalesce reports request-coalescer effectiveness (groups formed,
+	// requests that shared a computation); omitted when coalescing is
+	// disabled. Aggregates over pre-noise reuse, like the cache counters.
+	Coalesce *socialrec.CoalesceStats `json:"coalesce,omitempty"`
 	// Live reports the streaming-mutation subsystem (pending deltas,
 	// rebuild counts); omitted when live mutations are disabled. Like the
 	// cache counters these are aggregates over pre-processing and reveal
@@ -296,10 +325,11 @@ type healthResponse struct {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp := healthResponse{
-		Status:          "ok",
-		SnapshotVersion: s.rec.SnapshotVersion(),
-		PanicsRecovered: s.panics.Load(),
-		RequestsShed:    s.shed.Load(),
+		Status:           "ok",
+		SnapshotVersion:  s.rec.SnapshotVersion(),
+		PanicsRecovered:  s.panics.Load(),
+		RequestsShed:     s.shed.Load(),
+		RequestsInflight: s.inflightNow.Load(),
 	}
 	if deg := s.rec.Degraded(); len(deg) > 0 {
 		resp.Status = "degraded"
@@ -307,6 +337,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if st, ok := s.rec.CacheStats(); ok {
 		resp.Cache = &st
+	}
+	if st, ok := s.rec.CoalesceStats(); ok {
+		resp.Coalesce = &st
 	}
 	if st, ok := s.rec.LiveStats(); ok {
 		resp.Live = &st
@@ -378,18 +411,27 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, recommendResponse{Target: target, Nodes: nodes, Epsilon: s.rec.Epsilon()})
 }
 
+// recommendOne and recommendTopK draw from a per-request RNG stream rather
+// than the library's target-keyed stream: coalesced duplicates of one hot
+// target share their pre-noise computation but must each receive an
+// independent noise draw — per-target streams would hand every concurrent
+// duplicate the same "fresh" randomness. Streams are split from the seed by
+// a global sequence, so a fixed seed plus a fixed request order still
+// reproduces byte-for-byte.
 func (s *Server) recommendOne(target int) (socialrec.Recommendation, error) {
+	rng := s.rec.RequestRNG()
 	if s.acct != nil {
-		return s.acct.Recommend(target)
+		return s.acct.RecommendWithRNG(target, rng)
 	}
-	return s.rec.Recommend(target)
+	return s.rec.RecommendWithRNG(target, rng)
 }
 
 func (s *Server) recommendTopK(target, k int) ([]socialrec.Recommendation, error) {
+	rng := s.rec.RequestRNG()
 	if s.acct != nil {
-		return s.acct.RecommendTopK(target, k)
+		return s.acct.RecommendTopKWithRNG(target, k, rng)
 	}
-	return s.rec.RecommendTopK(target, k)
+	return s.rec.RecommendTopKWithRNG(target, k, rng)
 }
 
 // retryAfterSeconds is the advisory Retry-After on budget refusals.

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"socialrec"
 )
@@ -429,37 +430,74 @@ func TestHealthReportsCacheStats(t *testing.T) {
 }
 
 // TestConcurrentCachedServer hammers the cached server from parallel
-// goroutines under -race and checks every response body against the
-// uncached server's response for the same request.
+// goroutines under -race and checks every response is well-formed for its
+// request: 200 with the right target, the requested node count, and no
+// self/neighbor recommendations. Responses draw per-request noise
+// (Recommender.RequestRNG), so concurrent bodies are not byte-comparable
+// across servers — TestSequentialServersBitIdentical covers that under a
+// fixed request order.
 func TestConcurrentCachedServer(t *testing.T) {
 	cached, plain, g := cachedServerPair(t)
-	paths := make([]string, 0, 60)
-	want := make(map[string]string, 60)
+	type spec struct {
+		path   string
+		target int
+		k      int
+	}
+	specs := make([]spec, 0, 40)
 	for target := 0; target < 20; target++ {
-		for _, suffix := range []string{"", "&k=3"} {
-			path := "/v1/recommend?target=" + itoa(target%g.NumNodes()) + suffix
-			req := httptest.NewRequest(http.MethodGet, path, nil)
-			w := httptest.NewRecorder()
-			plain.ServeHTTP(w, req)
-			paths = append(paths, path)
-			want[path] = w.Body.String()
+		tgt := target % g.NumNodes()
+		// Only hammer targets the plain server can actually serve; hopeless
+		// targets answer 422 on both servers either way.
+		req := httptest.NewRequest(http.MethodGet, "/v1/recommend?target="+itoa(tgt), nil)
+		w := httptest.NewRecorder()
+		plain.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			continue
 		}
+		specs = append(specs,
+			spec{"/v1/recommend?target=" + itoa(tgt), tgt, 1},
+			spec{"/v1/recommend?target=" + itoa(tgt) + "&k=3", tgt, 3},
+		)
+	}
+	if len(specs) == 0 {
+		t.Fatal("no servable targets")
 	}
 	var wg sync.WaitGroup
 	errs := make(chan string, 32)
+	fail := func(msg string) {
+		select {
+		case errs <- msg:
+		default:
+		}
+	}
 	for worker := 0; worker < 8; worker++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
 			for i := 0; i < 150; i++ {
-				path := paths[(worker+i)%len(paths)]
-				req := httptest.NewRequest(http.MethodGet, path, nil)
+				sp := specs[(worker+i)%len(specs)]
+				req := httptest.NewRequest(http.MethodGet, sp.path, nil)
 				w := httptest.NewRecorder()
 				cached.ServeHTTP(w, req)
-				if got := w.Body.String(); got != want[path] {
-					select {
-					case errs <- path + ": " + got + " != " + want[path]:
-					default:
+				if w.Code != http.StatusOK {
+					fail(sp.path + ": status " + itoa(w.Code))
+					continue
+				}
+				var body struct {
+					Target int   `json:"target"`
+					Nodes  []int `json:"nodes"`
+				}
+				if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+					fail(sp.path + ": bad JSON " + w.Body.String())
+					continue
+				}
+				if body.Target != sp.target || len(body.Nodes) != sp.k {
+					fail(sp.path + ": malformed " + w.Body.String())
+					continue
+				}
+				for _, node := range body.Nodes {
+					if node == sp.target || g.HasEdge(sp.target, node) {
+						fail(sp.path + ": recommended self/neighbor " + itoa(node))
 					}
 				}
 			}
@@ -469,6 +507,178 @@ func TestConcurrentCachedServer(t *testing.T) {
 	close(errs)
 	for msg := range errs {
 		t.Fatal(msg)
+	}
+}
+
+// TestSequentialServersBitIdentical: per-request RNG streams are split from
+// the seed by request order, so two same-seed servers fed the same request
+// sequence answer byte-for-byte identically — whatever their cache and
+// coalescing configuration. This is the serving-layer form of the library's
+// determinism guarantee, and it pins the singleton-group case: each request
+// here forms a coalesce group of size 1, which must match the uncoalesced
+// path exactly.
+func TestSequentialServersBitIdentical(t *testing.T) {
+	g, err := socialrec.GenerateSocialGraph(400, 3000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(cacheSize int, window time.Duration) *Server {
+		rec, err := socialrec.NewRecommender(g, socialrec.WithEpsilon(1), socialrec.WithSeed(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := New(Config{Recommender: rec, CacheSize: cacheSize, CoalesceWindow: window, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	coalesced, plain := mk(256, time.Microsecond), mk(0, 0)
+	for target := 0; target < 20; target++ {
+		for _, suffix := range []string{"", "&k=3"} {
+			path := "/v1/recommend?target=" + itoa(target) + suffix
+			var bodies [2]string
+			for i, srv := range []*Server{coalesced, plain} {
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				w := httptest.NewRecorder()
+				srv.ServeHTTP(w, req)
+				bodies[i] = w.Body.String()
+			}
+			if bodies[0] != bodies[1] {
+				t.Fatalf("%s: coalesced %s != plain %s", path, bodies[0], bodies[1])
+			}
+		}
+	}
+}
+
+// TestHealthReportsCoalesceAndInflight: /healthz exposes the coalescer's
+// cumulative counters when coalescing is on (and omits them when off), plus
+// the requests_inflight gauge, which must read 0 from /healthz itself (the
+// health endpoint is excluded from the gauge) after traffic has drained.
+func TestHealthReportsCoalesceAndInflight(t *testing.T) {
+	g, err := socialrec.GenerateSocialGraph(200, 1200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := socialrec.NewRecommender(g, socialrec.WithEpsilon(1), socialrec.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Recommender: rec, CoalesceWindow: time.Microsecond, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get(t, srv, "/v1/recommend?target=0")
+	get(t, srv, "/v1/recommend?target=0")
+	_, body := get(t, srv, "/healthz")
+	stats, ok := body["coalesce"].(map[string]any)
+	if !ok {
+		t.Fatalf("no coalesce stats on /healthz: %v", body)
+	}
+	if stats["requests"].(float64) < 2 || stats["groups"].(float64) < 2 {
+		t.Errorf("coalesce counters not advancing: %v", stats)
+	}
+	if stats["window_ns"].(float64) != float64(time.Microsecond) {
+		t.Errorf("window_ns = %v, want %d", stats["window_ns"], time.Microsecond)
+	}
+	if inflight, ok := body["requests_inflight"].(float64); !ok || inflight != 0 {
+		t.Errorf("requests_inflight = %v, want 0 at idle", body["requests_inflight"])
+	}
+
+	plain, _, _ := testServer(t, 100)
+	if _, body := get(t, plain, "/healthz"); body["coalesce"] != nil {
+		t.Errorf("uncoalesced server reports coalesce stats: %v", body)
+	}
+}
+
+// TestInflightGaugeCountsActiveRequests parks a request inside a handler
+// and reads the gauge from /healthz while it is held.
+func TestInflightGaugeCountsActiveRequests(t *testing.T) {
+	srv, _, target := testServer(t, 100)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv.routes.HandleFunc("GET /slow", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		w.WriteHeader(http.StatusNoContent)
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		get(t, srv, "/slow")
+	}()
+	<-entered
+	_, body := get(t, srv, "/healthz")
+	if got := body["requests_inflight"].(float64); got != 1 {
+		t.Errorf("requests_inflight = %v with one parked request, want 1", got)
+	}
+	close(release)
+	<-done
+	_, body = get(t, srv, "/healthz")
+	if got := body["requests_inflight"].(float64); got != 0 {
+		t.Errorf("requests_inflight = %v after drain, want 0", got)
+	}
+	_ = target
+}
+
+// TestBudgetChargedPerRequestUnderCoalescing: coalesced duplicates share
+// the pre-noise computation, but every one of them is its own privacy
+// release — the accountant must charge once per admitted request, never
+// once per group.
+func TestBudgetChargedPerRequestUnderCoalescing(t *testing.T) {
+	g, err := socialrec.GenerateSocialGraph(200, 1200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := socialrec.NewRecommender(g, socialrec.WithEpsilon(1), socialrec.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Recommender:    rec,
+		TotalEpsilon:   1000,
+		CoalesceWindow: 2 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a servable target.
+	target := -1
+	for v := 0; v < g.NumNodes(); v++ {
+		if _, err := rec.ExpectedAccuracy(v); err == nil {
+			target = v
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no servable target")
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	var ok2xx atomic.Int64
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := httptest.NewRequest(http.MethodGet, "/v1/recommend?target="+itoa(target), nil)
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, req)
+			if w.Code == http.StatusOK {
+				ok2xx.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if ok2xx.Load() == 0 {
+		t.Fatal("no request succeeded")
+	}
+	if spent := srv.acct.Spent(); spent != float64(ok2xx.Load()) {
+		t.Errorf("spent = %g after %d successful coalesced requests, want %d (one ε per request)",
+			spent, ok2xx.Load(), ok2xx.Load())
+	}
+	if st, okSt := rec.CoalesceStats(); !okSt || st.Requests == 0 {
+		t.Errorf("coalescer saw no traffic: %+v ok=%v", st, okSt)
 	}
 }
 

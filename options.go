@@ -69,6 +69,23 @@ func WithCache(size int) Option {
 	}
 }
 
+// WithCoalescing enables deadline-based request coalescing of the
+// deterministic pre-noise stage (DefaultCoalesceWindow when window <= 0):
+// concurrent requests for the same target share one candidate scan, utility
+// vector, and sparse CDF, then each draws its own independent noise. Like
+// the cache, coalescing never changes any recommendation's distribution —
+// see Recommender.EnableCoalescing and the doc.go "Request coalescing"
+// section for the DP argument and the latency trade the window makes.
+func WithCoalescing(window time.Duration) Option {
+	return func(r *Recommender) error {
+		if window <= 0 {
+			window = DefaultCoalesceWindow
+		}
+		r.pendingCoalesce = window
+		return nil
+	}
+}
+
 // WithDeltaInvalidation makes snapshot swaps retain cached utility vectors
 // that the swap's delta batch provably did not touch, instead of flushing
 // the whole cache: entries register their dependency closure in a reverse

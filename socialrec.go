@@ -145,6 +145,14 @@ type Recommender struct {
 	state atomic.Pointer[snapState]
 	cache atomic.Pointer[vectorCache]
 
+	// coal, when non-nil, coalesces concurrent pre-noise computations for
+	// the same (epoch, target) behind a deadline window (WithCoalescing /
+	// EnableCoalescing); see cache.go and internal/coalesce.
+	coal atomic.Pointer[targetCoalescer]
+
+	// drawSeq numbers the per-request RNG streams RequestRNG hands out.
+	drawSeq atomic.Uint64
+
 	// deltaInval enables delta-aware cache invalidation across live
 	// snapshot swaps (WithDeltaInvalidation); see invalidate.go.
 	deltaInval bool
@@ -183,6 +191,7 @@ type Recommender struct {
 	// same for the live-mutation options, and pendingSnapshotFile/-Mode for
 	// WithSnapshotFile.
 	pendingCacheSize    int
+	pendingCoalesce     time.Duration
 	pendingLive         bool
 	pendingInterval     time.Duration
 	pendingMaxPending   int
@@ -333,6 +342,9 @@ func (r *Recommender) finishInit(st *snapState, mutableBase func() (*Graph, erro
 	r.state.Store(st)
 	if r.pendingCacheSize != 0 {
 		r.EnableCache(r.pendingCacheSize)
+	}
+	if r.pendingCoalesce != 0 {
+		r.EnableCoalescing(r.pendingCoalesce)
 	}
 	if r.pendingLive {
 		base, err := mutableBase()
@@ -501,10 +513,10 @@ func (r *Recommender) computeVector(st *snapState, target int) (*cachedVector, e
 		ncand: utility.CandidateCount(st.snap, target),
 	}
 	cv.skip = buildSkipTable(st.snap, target, idx)
-	// The CDF is only worth materializing when a cache will amortize it;
-	// uncached recommenders keep the mechanism's allocation-free pooled
-	// sampling path instead.
-	if cv.umax > 0 && r.cache.Load() != nil {
+	// The CDF is only worth materializing when a cache or a coalesce group
+	// will amortize it; plain recommenders keep the mechanism's
+	// allocation-free pooled sampling path instead.
+	if cv.umax > 0 && (r.cache.Load() != nil || r.coal.Load() != nil) {
 		if e, ok := st.mech.(mechanism.Exponential); ok {
 			cdf, err := e.SparseCDF(cv.sparseVec())
 			if err != nil {
@@ -563,14 +575,9 @@ func (r *Recommender) vector(st *snapState, target int) (*cachedVector, error) {
 			return cv.check(target)
 		}
 	}
-	cv, err := r.computeVector(st, target)
+	cv, err := r.computeShared(st, c, target, false)
 	if err != nil {
 		return nil, err
-	}
-	if c != nil {
-		// Negative results (umax == 0) are cached too: hopeless targets are
-		// common in sparse graphs and would otherwise rescan every time.
-		c.put(st.epoch, target, cv)
 	}
 	return cv.check(target)
 }
@@ -593,6 +600,17 @@ func (r *Recommender) Recommend(target int) (Recommendation, error) {
 // deterministic tests and simulations.
 func (r *Recommender) RecommendWithRNG(target int, rng *rand.Rand) (Recommendation, error) {
 	return r.recommend(target, rng)
+}
+
+// RequestRNG returns a fresh RNG stream for one request. Unlike the
+// target-keyed stream Recommend uses internally, streams from successive
+// RequestRNG calls are mutually independent even for the same target, which
+// is what a serving layer needs when concurrent coalesced requests for one
+// hot target must each receive their own noise draw. Streams are split from
+// the Recommender's seed by a global sequence number, so a fixed seed plus a
+// fixed request order still reproduces exactly.
+func (r *Recommender) RequestRNG() *rand.Rand {
+	return distribution.SplitN(r.seed, "request", int(r.drawSeq.Add(1)))
 }
 
 func (r *Recommender) recommend(target int, rng *rand.Rand) (Recommendation, error) {
