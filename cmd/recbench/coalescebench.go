@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -178,6 +179,14 @@ type loadtestResult struct {
 	SaturationQPS     float64 `json:"saturation_qps"`
 	SaturationReqs    int64   `json:"saturation_requests"`
 	SaturationWorkers int     `json:"saturation_workers"`
+	// Runtime memory behaviour over the open-loop window
+	// (runtime.ReadMemStats deltas): heap allocations performed, GC cycles
+	// completed, and total stop-the-world pause. Allocation pressure is
+	// what the streaming pipeline attacks, so the load test tracks it next
+	// to latency.
+	TotalAllocs   uint64 `json:"total_allocs"`
+	GCCycles      uint32 `json:"gc_cycles"`
+	GCPauseTotalN uint64 `json:"gc_pause_total_ns"`
 }
 
 func runLoadtestBench(g *socialrec.Graph, quick bool) (loadtestResult, error) {
@@ -245,10 +254,16 @@ func runLoadtestBench(g *socialrec.Graph, quick bool) (loadtestResult, error) {
 		return nil
 	}
 
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	res.OpenLoop, err = load.Run(load.Config{QPS: qps, Duration: duration, Do: do})
+	runtime.ReadMemStats(&after)
 	if err != nil {
 		return res, err
 	}
+	res.TotalAllocs = after.Mallocs - before.Mallocs
+	res.GCCycles = after.NumGC - before.NumGC
+	res.GCPauseTotalN = after.PauseTotalNs - before.PauseTotalNs
 	res.SaturationReqs, res.SaturationQPS, err = load.Saturate(res.SaturationWorkers, saturate, do)
 	if err != nil {
 		return res, err

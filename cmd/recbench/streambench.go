@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"socialrec"
+)
+
+// The streaming benchmark measures the fused per-request pipeline against
+// the materialized one it replaced on the exact workload it exists for:
+// uncached single recommendations, where every request used to pay the
+// gather (support slices, skip table) just to throw it away after one draw.
+// Both arms run the identical seeded request schedule on recommenders that
+// differ only in WithoutStreaming, so the ns/op and allocs/op gaps are
+// purely the pipeline. Because Recommend's RNG is target-keyed, the two
+// arms must also return bit-identical recommendations — the benchmark
+// checks that on every request and refuses to report numbers for a
+// divergent pipeline.
+
+// streamingBenchResult is the `streaming` section of BENCH_serve.json.
+type streamingBenchResult struct {
+	Nodes    int `json:"nodes"`
+	Edges    int `json:"edges"`
+	Targets  int `json:"distinct_targets"`
+	Requests int `json:"requests"`
+	TopKReqs int `json:"topk_requests"`
+
+	MaterializedNsOp   float64 `json:"materialized_ns_per_op"`
+	StreamedNsOp       float64 `json:"streamed_ns_per_op"`
+	Speedup            float64 `json:"speedup"`
+	MaterializedAllocs float64 `json:"materialized_allocs_per_op"`
+	StreamedAllocs     float64 `json:"streamed_allocs_per_op"`
+	// AllocRatio = streamed/materialized allocs per op; the acceptance bar
+	// is <= 0.5 (at least half the uncached allocations gone).
+	AllocRatio float64 `json:"alloc_ratio"`
+
+	TopKMaterializedNsOp float64 `json:"topk5_materialized_ns_per_op"`
+	TopKStreamedNsOp     float64 `json:"topk5_streamed_ns_per_op"`
+
+	// BitIdentical is true when every streamed recommendation (single and
+	// top-5) matched its materialized twin exactly — the pipeline's
+	// correctness contract, verified on every benchmarked request.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+func runStreamingBench(g *socialrec.Graph, quick bool) (streamingBenchResult, error) {
+	res := streamingBenchResult{
+		Nodes:    g.NumNodes(),
+		Edges:    g.NumEdges(),
+		Requests: 4000,
+		TopKReqs: 1000,
+	}
+	if quick {
+		res.Requests = 1500
+		res.TopKReqs = 400
+	}
+
+	hot, err := hubTargets(g, 48)
+	if err != nil {
+		return res, err
+	}
+	res.Targets = len(hot)
+
+	streamed, err := socialrec.NewRecommender(g, socialrec.WithEpsilon(1), socialrec.WithSeed(1))
+	if err != nil {
+		return res, err
+	}
+	defer streamed.Close()
+	materialized, err := socialrec.NewRecommender(g, socialrec.WithEpsilon(1), socialrec.WithSeed(1),
+		socialrec.WithoutStreaming())
+	if err != nil {
+		return res, err
+	}
+	defer materialized.Close()
+
+	// Recommend's RNG is keyed by (seed, target), so per-target draws are
+	// order-independent and the two arms can be compared request by request.
+	res.BitIdentical = true
+	check := func(a, b socialrec.Recommendation, err1, err2 error) {
+		if a != b || (err1 == nil) != (err2 == nil) {
+			res.BitIdentical = false
+		}
+	}
+
+	serve := func(rec *socialrec.Recommender, other *socialrec.Recommender, n int) (nsOp, allocsOp float64) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			_, _ = rec.Recommend(hot[i%len(hot)])
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if other != nil {
+			for _, t := range hot {
+				a, err1 := rec.Recommend(t)
+				b, err2 := other.Recommend(t)
+				check(a, b, err1, err2)
+			}
+		}
+		return float64(elapsed.Nanoseconds()) / float64(n),
+			float64(after.Mallocs-before.Mallocs) / float64(n)
+	}
+
+	res.MaterializedNsOp, res.MaterializedAllocs = serve(materialized, nil, res.Requests)
+	res.StreamedNsOp, res.StreamedAllocs = serve(streamed, materialized, res.Requests)
+	if res.StreamedNsOp > 0 {
+		res.Speedup = res.MaterializedNsOp / res.StreamedNsOp
+	}
+	if res.MaterializedAllocs > 0 {
+		res.AllocRatio = res.StreamedAllocs / res.MaterializedAllocs
+	}
+
+	topk := func(rec *socialrec.Recommender, n int) float64 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			_, _ = rec.RecommendTopK(hot[i%len(hot)], 5)
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(n)
+	}
+	res.TopKMaterializedNsOp = topk(materialized, res.TopKReqs)
+	res.TopKStreamedNsOp = topk(streamed, res.TopKReqs)
+	for _, t := range hot {
+		a, err1 := streamed.RecommendTopK(t, 5)
+		b, err2 := materialized.RecommendTopK(t, 5)
+		if len(a) != len(b) || (err1 == nil) != (err2 == nil) {
+			res.BitIdentical = false
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				res.BitIdentical = false
+			}
+		}
+	}
+	if !res.BitIdentical {
+		return res, fmt.Errorf("streaming bench: streamed and materialized pipelines diverged for a fixed seed")
+	}
+	return res, nil
+}

@@ -83,6 +83,7 @@ func main() {
 		coalesce = flag.Duration("coalesce-window", 0, "request-coalescing deadline window (with -inproc; 0 disables)")
 		qps      = flag.Float64("qps", 200, "offered request rate")
 		duration = flag.Duration("duration", 10*time.Second, "open-loop run length")
+		warmup   = flag.Duration("warmup", 0, "warmup period at the same rate before the measured window; its requests run but are excluded from the histogram")
 		workers  = flag.Int("workers", load.DefaultWorkers, "max in-flight requests")
 		zipfS    = flag.Float64("zipf-s", 1.2, "Zipf exponent of target popularity (larger = hotter head)")
 		k        = flag.Int("k", 1, "recommendations per request (k=1 uses the single-draw path)")
@@ -142,7 +143,7 @@ func main() {
 		log.Fatalf("recload: zipf: %v", err)
 	}
 	rng := distribution.NewRNG(*seed)
-	total := int(*qps*duration.Seconds()+0.5) + 1
+	total := int(*qps*(duration.Seconds()+warmup.Seconds())+0.5) + 1
 	paths := make([]string, total)
 	recPath := "/v1/recommend?k=" + strconv.Itoa(*k) + "&target="
 	for i := range paths {
@@ -200,7 +201,7 @@ func main() {
 	}
 
 	rep := report{Target: base, ZipfS: *zipfS, K: *k, Mutate: *mutate}
-	rep.OpenLoop, err = load.Run(load.Config{QPS: *qps, Duration: *duration, Workers: *workers, Do: do})
+	rep.OpenLoop, err = load.Run(load.Config{QPS: *qps, Duration: *duration, Warmup: *warmup, Workers: *workers, Do: do})
 	if err != nil {
 		log.Fatalf("recload: %v", err)
 	}

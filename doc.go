@@ -96,6 +96,54 @@
 // (without the deadline wait), so bulk warming and live serving of the same
 // target share one computation instead of racing.
 //
+// # Streaming pipeline
+//
+// Caching and coalescing amortize the pre-noise stage across requests; the
+// streaming pipeline removes its memory cost from requests that have
+// nothing to amortize against. When no cache and no coalescer are enabled,
+// a request never materializes its utility vector at all — the stages fuse
+// into one pull-based graph:
+//
+//	candidates ──▶ utility kernel ──▶ stream.Scorer ──▶ mechanism consumer ──▶ top-k / pick
+//	               (pooled scratch)    Next()/Reset()    (running scalars,       (O(k) heap)
+//	                                   ascending pairs    noise folded in)
+//
+// The utility kernel runs against pooled accumulators and exposes the
+// nonzero support as a stream.Scorer: Next() yields (node, utility) pairs
+// ascending by node ID, Reset() rewinds for multi-pass consumers, Close()
+// returns the scratch to its per-P pool. The mechanism consumes the stream
+// directly — the exponential mechanism folds the incremental CDF into a
+// running mass and finds the winning prefix crossing with the identical
+// arithmetic the materialized binary search performs; the noisy-max family
+// folds per-candidate noise into a running best; top-k offers noisy scores
+// straight into a bounded O(k) heap. The only per-request state beyond
+// pooled scratch is a handful of running scalars, so steady-state serving
+// is allocation-free (an escape-analysis guard in CI and an AllocsPerRun
+// test pin this), which is what keeps GC pauses out of the uncached p99.
+//
+// Scratch ownership is strictly per request: a scorer owns its pooled
+// accumulators from StreamSparse until Close, the mechanism borrows the
+// scorer only within the call, and nothing pooled is ever reachable after
+// the request returns — the per-pool get/put/new counters are exported on
+// /healthz so a leak (news tracking gets) is observable in production.
+// Shared consumers still need vectors that outlive a request, so cache
+// fill, coalesced computation, batch serving, and Precompute gather their
+// support slices from the same streaming kernels (one counting pass, one
+// exact-size fill); there is one stage graph, consumed lazily by plain
+// requests and eagerly by shared ones.
+//
+// Streaming is DP-safe for the strongest possible reason: it is the same
+// computation. Every streamed stage performs the identical floating-point
+// operations in the identical order and consumes the RNG in the identical
+// sequence as its materialized counterpart, so for a fixed seed the served
+// bytes are bit-identical (property tests pin this across every utility,
+// mechanism, directedness, and both the single and top-k APIs). Fusion
+// reorganizes only the deterministic pre-noise stage — u_max, Δf, the
+// candidate domain, and the mechanism's output distribution are untouched,
+// and noise is still drawn fresh per request after the pre-noise scan.
+// WithoutStreaming forces the materialized path as a diagnostic control;
+// the recbench `streaming` section measures one against the other.
+//
 // # Budget accounting
 //
 // The paper's guarantee is stated per user: Definition 1 bounds how much

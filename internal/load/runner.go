@@ -16,6 +16,12 @@ type Config struct {
 	// Duration is how long arrivals are scheduled for (required, > 0); the
 	// run offers round(QPS * Duration) requests and then drains.
 	Duration time.Duration
+	// Warmup prepends round(QPS * Warmup) extra arrivals at the same rate
+	// before the measured window. Warmup requests execute normally — they
+	// heat caches, pools, and the branch predictor — but are excluded from
+	// every Report field except WarmupExcluded, so cold-start latencies
+	// never pollute the histogram tails.
+	Warmup time.Duration
 	// Workers bounds in-flight requests (default DefaultWorkers). When all
 	// workers are busy, due requests queue — and their queueing delay is
 	// charged to their latency, which is the point of the open loop. Size
@@ -47,9 +53,12 @@ type Report struct {
 	AchievedQPS float64 `json:"achieved_qps"`
 	ElapsedSec  float64 `json:"elapsed_sec"`
 	// Latency is the distribution of scheduled-arrival-to-completion times
-	// over ALL requests (failed ones included: a user who got an error
-	// still waited for it).
+	// over ALL measured requests (failed ones included: a user who got an
+	// error still waited for it). Warmup requests are excluded.
 	Latency LatencySummary `json:"latency"`
+	// WarmupExcluded counts the warmup requests that ran before the
+	// measured window and were left out of every other field.
+	WarmupExcluded int64 `json:"warmup_excluded,omitempty"`
 }
 
 // Run executes one open-loop run and blocks until every scheduled request
@@ -68,15 +77,21 @@ func Run(cfg Config) (Report, error) {
 	if workers <= 0 {
 		workers = DefaultWorkers
 	}
-	total := int64(cfg.QPS*cfg.Duration.Seconds() + 0.5)
-	if total < 1 {
-		total = 1
+	if cfg.Warmup < 0 {
+		return Report{}, fmt.Errorf("load: warmup %v must be non-negative", cfg.Warmup)
 	}
+	warmup := int64(cfg.QPS*cfg.Warmup.Seconds() + 0.5)
+	measured := int64(cfg.QPS*cfg.Duration.Seconds() + 0.5)
+	if measured < 1 {
+		measured = 1
+	}
+	total := warmup + measured
 	interarrival := float64(time.Second) / cfg.QPS
 
 	hist := NewHistogram()
 	var next, failed atomic.Int64
 	start := time.Now()
+	measStart := start.Add(time.Duration(float64(warmup) * interarrival))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -92,6 +107,9 @@ func Run(cfg Config) (Report, error) {
 					time.Sleep(wait)
 				}
 				err := cfg.Do(int(i))
+				if i < warmup {
+					continue // warmup: heat the path, record nothing
+				}
 				hist.Record(time.Since(due))
 				if err != nil {
 					failed.Add(1)
@@ -100,15 +118,16 @@ func Run(cfg Config) (Report, error) {
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(measStart)
 
 	rep := Report{
-		OfferedQPS: cfg.QPS,
-		Offered:    total,
-		Failed:     failed.Load(),
-		Completed:  total - failed.Load(),
-		ElapsedSec: elapsed.Seconds(),
-		Latency:    hist.Snapshot(),
+		OfferedQPS:     cfg.QPS,
+		Offered:        measured,
+		Failed:         failed.Load(),
+		Completed:      measured - failed.Load(),
+		ElapsedSec:     elapsed.Seconds(),
+		Latency:        hist.Snapshot(),
+		WarmupExcluded: warmup,
 	}
 	if elapsed > 0 {
 		rep.AchievedQPS = float64(rep.Completed) / elapsed.Seconds()

@@ -2,65 +2,112 @@ package mechanism
 
 // Bounded-heap top-k selection. Serving returns small k over large candidate
 // domains, so selection cost should be O(n log k), not the O(n log n) of a
-// full sort or the O(n·k) of repeated scans.
+// full sort or the O(n·k) of repeated scans. The incremental topHeap is the
+// single implementation behind both the materialized TopIndices and the
+// streaming top-k consumers (stream.go): feeding it the same (value,
+// sequence) pairs in the same order produces the same selection bit for
+// bit, which is how streamed top-k stays identical to the materialized
+// release by construction.
+
+// topEntry is one scored candidate offered to a topHeap: v is the (noisy)
+// score, seq the candidate's position in the offer order — the tie-break
+// key — and the remaining fields the caller's payload, carried through the
+// heap untouched.
+type topEntry struct {
+	v   float64
+	seq int
+	// Payload: a resolved support candidate (node, util) or a tail rank.
+	node   int32
+	util   float64
+	tail   int
+	isTail bool
+}
+
+// topHeap selects the k best entries by descending v with ties toward the
+// lower seq — the order a stable descending sort would produce. It is a
+// min-heap under "beats": the root is the weakest of the current top k.
+type topHeap struct {
+	k int
+	e []topEntry
+}
+
+// beats reports whether a outranks b: the larger value, or an equal value
+// at a smaller sequence number.
+func (*topHeap) beats(a, b topEntry) bool {
+	if a.v != b.v {
+		return a.v > b.v
+	}
+	return a.seq < b.seq
+}
+
+func (h *topHeap) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		weakest := i
+		if l < len(h.e) && h.beats(h.e[weakest], h.e[l]) {
+			weakest = l
+		}
+		if r < len(h.e) && h.beats(h.e[weakest], h.e[r]) {
+			weakest = r
+		}
+		if weakest == i {
+			return
+		}
+		h.e[i], h.e[weakest] = h.e[weakest], h.e[i]
+		i = weakest
+	}
+}
+
+// offer considers one entry, displacing the current weakest if the heap is
+// full and the entry beats it.
+func (h *topHeap) offer(e topEntry) {
+	if len(h.e) < h.k {
+		h.e = append(h.e, e)
+		for c := len(h.e) - 1; c > 0; {
+			p := (c - 1) / 2
+			if !h.beats(h.e[p], h.e[c]) {
+				break
+			}
+			h.e[p], h.e[c] = h.e[c], h.e[p]
+			c = p
+		}
+		return
+	}
+	if h.beats(e, h.e[0]) {
+		h.e[0] = e
+		h.siftDown(0)
+	}
+}
+
+// drain pops the held entries weakest-first, filling the heap's backing
+// array back to front so it ends ordered best-first, and returns it. The
+// heap is spent afterwards.
+func (h *topHeap) drain() []topEntry {
+	e := h.e
+	for n := len(h.e) - 1; n >= 0; n-- {
+		top := h.e[0]
+		h.e[0] = h.e[n]
+		h.e = h.e[:n]
+		h.siftDown(0)
+		e[n] = top
+	}
+	h.e = nil
+	return e
+}
 
 // TopIndices returns the indices of the k largest values in xs, ordered by
-// decreasing value with ties broken toward the lower index — the same order
-// a stable descending sort would produce. It runs in O(n log k) time and
-// O(k) extra space. k must be in [1, len(xs)]; callers validate.
+// decreasing value with ties broken toward the lower index. It runs in
+// O(n log k) time and O(k) extra space. k must be in [1, len(xs)]; callers
+// validate.
 func TopIndices(xs []float64, k int) []int {
-	// heap is a min-heap over (value, index) holding the best k seen so
-	// far; its root is the weakest of the current top k. "a beats b" means
-	// a has the larger value, or an equal value at a smaller index.
-	heap := make([]int, 0, k)
-	beats := func(a, b int) bool {
-		if xs[a] != xs[b] {
-			return xs[a] > xs[b]
-		}
-		return a < b
+	h := topHeap{k: k, e: make([]topEntry, 0, k)}
+	for i, x := range xs {
+		h.offer(topEntry{v: x, seq: i})
 	}
-	siftDown := func(i int) {
-		for {
-			l, r := 2*i+1, 2*i+2
-			weakest := i
-			if l < len(heap) && beats(heap[weakest], heap[l]) {
-				weakest = l
-			}
-			if r < len(heap) && beats(heap[weakest], heap[r]) {
-				weakest = r
-			}
-			if weakest == i {
-				return
-			}
-			heap[i], heap[weakest] = heap[weakest], heap[i]
-			i = weakest
-		}
-	}
-	for i := range xs {
-		if len(heap) < k {
-			heap = append(heap, i)
-			for c := len(heap) - 1; c > 0; {
-				p := (c - 1) / 2
-				if !beats(heap[p], heap[c]) {
-					break
-				}
-				heap[p], heap[c] = heap[c], heap[p]
-				c = p
-			}
-			continue
-		}
-		if beats(i, heap[0]) {
-			heap[0] = i
-			siftDown(0)
-		}
-	}
-	// Pop in weakest-first order, filling the result back to front.
-	out := make([]int, len(heap))
-	for n := len(heap) - 1; n >= 0; n-- {
-		out[n] = heap[0]
-		heap[0] = heap[n]
-		heap = heap[:n]
-		siftDown(0)
+	top := h.drain()
+	out := make([]int, len(top))
+	for i, e := range top {
+		out[i] = e.seq
 	}
 	return out
 }

@@ -1,24 +1,22 @@
 package mechanism
 
-import "sync"
+import "socialrec/internal/stream"
 
 // Per-call scratch vectors (exponential weights, Laplace-noised copies) are
 // the dominant steady-state allocation of the serving hot path once utility
-// vectors are cached. A sync.Pool recycles them so repeated Recommend calls
-// are allocation-free; buffers are length-adjusted per use and never escape
-// to callers.
+// vectors are cached. An instrumented pool (see internal/stream) recycles
+// them so repeated Recommend calls are allocation-free; buffers are
+// length-adjusted per use and never escape to callers.
 
-var scratchPool = sync.Pool{
-	New: func() any {
-		s := make([]float64, 0, 1024)
-		return &s
-	},
-}
+var scratchPool = stream.NewPool("mechanism.scratch", func() *[]float64 {
+	s := make([]float64, 0, 1024)
+	return &s
+})
 
 // getScratch returns a zero-length scratch slice with capacity >= n and the
 // pool handle to return it with.
 func getScratch(n int) (*[]float64, []float64) {
-	p := scratchPool.Get().(*[]float64)
+	p := scratchPool.Get()
 	if cap(*p) < n {
 		*p = make([]float64, 0, n)
 	}

@@ -1,0 +1,471 @@
+package mechanism
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"socialrec/internal/distribution"
+	"socialrec/internal/stream"
+)
+
+// Streaming consumers. Each mechanism can draw directly from a
+// stream.Scorer — the pull iterator the utility kernels expose — without
+// the support ever being materialized into a SparseVec. Consumers are
+// multi-pass where the materialized algorithm is (the exponential
+// mechanism's weight normalization needs the max before the weights, so it
+// scans the stream once for the max and once for the cumulative mass,
+// exactly mirroring appendCDF's two loops), and single-pass where it is
+// (noisy max folds the per-candidate noise into a running best). Every
+// consumer performs the identical floating-point operations in the
+// identical order and consumes the RNG in the identical sequence as its
+// RecommendSparse counterpart, so streamed draws are bit-identical to
+// materialized draws for a fixed seed — the property test in
+// stream_test.go pins this.
+
+// StreamPick is a streamed draw's result. Support picks arrive resolved —
+// the winning candidate's node ID and raw utility were read off the stream
+// during the pass — while tail picks carry a rank among the implicit
+// zero-utility candidates for the caller to map to a node ID (it owns the
+// candidate-domain bookkeeping).
+type StreamPick struct {
+	// Node and Util identify a support pick (IsTail false).
+	Node int32
+	Util float64
+	// Tail is a rank in [0, N-nnz) identifying which zero-utility
+	// candidate won (IsTail true).
+	Tail   int
+	IsTail bool
+}
+
+// StreamMechanism is implemented by mechanisms that can draw from a
+// stream.Scorer over n total candidates (nonzero support streamed, the
+// rest implicit zeros). RecommendStream selects from the same distribution
+// — and, for a fixed seed, the same draw — as RecommendSparse on the
+// materialized vector.
+type StreamMechanism interface {
+	Mechanism
+	RecommendStream(sc stream.Scorer, n int, rng *rand.Rand) (StreamPick, error)
+}
+
+// Compile-time checks that every built-in mechanism streams.
+var (
+	_ StreamMechanism = Exponential{}
+	_ StreamMechanism = GumbelMax{}
+	_ StreamMechanism = Laplace{}
+	_ StreamMechanism = Best{}
+	_ StreamMechanism = Uniform{}
+	_ StreamMechanism = Smoothing{}
+)
+
+// scanStream is SparseVec.validate over a stream: it rewinds, checks the
+// same invariants with the same error precedence, and returns the support
+// size and the maximum utility floored at zero (SparseVec.max semantics).
+// Running validation as a dedicated first pass — before any noise is drawn
+// — keeps the error paths RNG-silent exactly like the materialized
+// mechanisms, which validate before sampling.
+func scanStream(sc stream.Scorer, n int) (nnz int, vmax float64, err error) {
+	if n < 1 {
+		return 0, 0, ErrEmpty
+	}
+	sc.Reset()
+	neg := false
+	for {
+		_, x, ok := sc.Next()
+		if !ok {
+			break
+		}
+		nnz++
+		if x < 0 {
+			neg = true
+		}
+		if x > vmax {
+			vmax = x
+		}
+	}
+	if nnz > n {
+		return nnz, vmax, fmt.Errorf("mechanism: sparse vector has %d nonzeros but only %d candidates", nnz, n)
+	}
+	if neg {
+		return nnz, vmax, ErrNegative
+	}
+	return nnz, vmax, nil
+}
+
+// streamAt returns the (idx, val) pair at support position pos.
+func streamAt(sc stream.Scorer, pos int) (int32, float64) {
+	sc.Reset()
+	for i := 0; ; i++ {
+		idx, x, ok := sc.Next()
+		if !ok {
+			return 0, 0 // unreachable for pos < nnz; callers guarantee it
+		}
+		if i == pos {
+			return idx, x
+		}
+	}
+}
+
+// resolveUniform maps a uniform index over all n candidates onto a
+// StreamPick, identifying the first nnz candidates with the support — the
+// same bijection uniformPick uses.
+func resolveUniform(sc stream.Scorer, j, nnz int) StreamPick {
+	if j < nnz {
+		idx, x := streamAt(sc, j)
+		return StreamPick{Node: idx, Util: x}
+	}
+	return StreamPick{IsTail: true, Tail: j - nnz}
+}
+
+// RecommendStream implements StreamMechanism for the exponential mechanism.
+// The cumulative weights never materialize: pass one finds u_max (the same
+// max-first order appendCDF uses), pass two accumulates the support mass
+// Σ exp(scale·(u_i - u_max)) into a single running float, and — only when
+// the single uniform variate lands in the support mass — pass three re-runs
+// the identical prefix accumulation until it crosses the draw. The running
+// prefix reproduces SparseCDF.Support[i] bit for bit, so the linear
+// crossing finds the exact candidate the materialized binary search finds,
+// from the same rng.Float64().
+func (e Exponential) RecommendStream(sc stream.Scorer, n int, rng *rand.Rand) (StreamPick, error) {
+	if err := e.validate(); err != nil {
+		return StreamPick{}, err
+	}
+	nnz, vmax, err := scanStream(sc, n)
+	if err != nil {
+		return StreamPick{}, err
+	}
+	scale := e.Epsilon / e.Sensitivity
+	sc.Reset()
+	var zs float64
+	var lastIdx int32
+	var lastVal float64
+	for {
+		i, x, ok := sc.Next()
+		if !ok {
+			break
+		}
+		zs += math.Exp(scale * (x - vmax))
+		lastIdx, lastVal = i, x
+	}
+	tail := n - nnz
+	tw := math.Exp(-scale * vmax)
+	target := rng.Float64() * (zs + float64(tail)*tw)
+	if target < zs {
+		sc.Reset()
+		var acc float64
+		for {
+			i, x, ok := sc.Next()
+			if !ok {
+				break
+			}
+			acc += math.Exp(scale * (x - vmax))
+			if acc > target {
+				return StreamPick{Node: i, Util: x}, nil
+			}
+		}
+	} else if tail > 0 {
+		rank := int((target - zs) / tw)
+		if rank >= tail {
+			rank = tail - 1 // rounding falls through to the last tail slot
+		}
+		return StreamPick{IsTail: true, Tail: rank}, nil
+	}
+	// Rounding fell through the support mass with no tail to absorb it;
+	// mirror SampleSparseCDF by resolving to the last support entry.
+	return StreamPick{Node: lastIdx, Util: lastVal}, nil
+}
+
+// RecommendStream implements StreamMechanism for the Gumbel-max ablation:
+// one pass folds a Gumbel variate per support entry into a running best,
+// then the whole zero tail competes via its closed-form maximum.
+func (g GumbelMax) RecommendStream(sc stream.Scorer, n int, rng *rand.Rand) (StreamPick, error) {
+	if !(g.Epsilon > 0) {
+		return StreamPick{}, ErrBadEpsilon
+	}
+	if !(g.Sensitivity > 0) {
+		return StreamPick{}, ErrBadSens
+	}
+	nnz, _, err := scanStream(sc, n)
+	if err != nil {
+		return StreamPick{}, err
+	}
+	scale := g.Epsilon / g.Sensitivity
+	sc.Reset()
+	var best StreamPick
+	bestVal := math.Inf(-1)
+	for {
+		i, x, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if v := scale*x + gumbel(rng); v > bestVal {
+			best = StreamPick{Node: i, Util: x}
+			bestVal = v
+		}
+	}
+	if m := n - nnz; m > 0 {
+		if v := math.Log(float64(m)) + gumbel(rng); v > bestVal {
+			return StreamPick{IsTail: true, Tail: rng.Intn(m)}, nil
+		}
+	}
+	return best, nil
+}
+
+// RecommendStream implements StreamMechanism for the Laplace mechanism:
+// one pass folds a Laplace variate per support entry into a running noisy
+// max, then the tail's closed-form maximum (SampleMax) competes once.
+func (l Laplace) RecommendStream(sc stream.Scorer, n int, rng *rand.Rand) (StreamPick, error) {
+	if err := l.validate(); err != nil {
+		return StreamPick{}, err
+	}
+	nnz, _, err := scanStream(sc, n)
+	if err != nil {
+		return StreamPick{}, err
+	}
+	noise := distribution.Laplace{Loc: 0, Scale: l.Sensitivity / l.Epsilon}
+	sc.Reset()
+	var best StreamPick
+	bestVal := math.Inf(-1)
+	for {
+		i, x, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if v := x + noise.Sample(rng); v > bestVal {
+			best = StreamPick{Node: i, Util: x}
+			bestVal = v
+		}
+	}
+	if m := n - nnz; m > 0 {
+		if v := noise.SampleMax(m, rng); v > bestVal {
+			return StreamPick{IsTail: true, Tail: rng.Intn(m)}, nil
+		}
+	}
+	return best, nil
+}
+
+// RecommendStream implements StreamMechanism for R_best, replicating
+// argmax's per-tie RNG consumption over the support.
+func (Best) RecommendStream(sc stream.Scorer, n int, rng *rand.Rand) (StreamPick, error) {
+	nnz, vmax, err := scanStream(sc, n)
+	if err != nil {
+		return StreamPick{}, err
+	}
+	if vmax == 0 {
+		// Every candidate ties at zero: uniform over all n, as the
+		// materialized path resolves via uniformPick.
+		j := 0
+		if rng != nil {
+			j = rng.Intn(n)
+		}
+		return resolveUniform(sc, j, nnz), nil
+	}
+	sc.Reset()
+	i0, x0, _ := sc.Next() // nnz > 0 since vmax > 0
+	best := StreamPick{Node: i0, Util: x0}
+	bestVal := x0
+	ties := 1
+	for {
+		i, x, ok := sc.Next()
+		if !ok {
+			break
+		}
+		switch {
+		case x > bestVal:
+			best = StreamPick{Node: i, Util: x}
+			bestVal = x
+			ties = 1
+		case x == bestVal:
+			ties++
+			if rng != nil && rng.Intn(ties) == 0 {
+				best = StreamPick{Node: i, Util: x}
+			}
+		}
+	}
+	return best, nil
+}
+
+// RecommendStream implements StreamMechanism.
+func (Uniform) RecommendStream(sc stream.Scorer, n int, rng *rand.Rand) (StreamPick, error) {
+	nnz, _, err := scanStream(sc, n)
+	if err != nil {
+		return StreamPick{}, err
+	}
+	return resolveUniform(sc, rng.Intn(n), nnz), nil
+}
+
+// RecommendStream implements StreamMechanism for the smoothing mechanism:
+// the same biased coin, then either the base mechanism's streamed draw or
+// an O(1) uniform pick.
+func (s Smoothing) RecommendStream(sc stream.Scorer, n int, rng *rand.Rand) (StreamPick, error) {
+	if err := s.validate(); err != nil {
+		return StreamPick{}, err
+	}
+	nnz, _, err := scanStream(sc, n)
+	if err != nil {
+		return StreamPick{}, err
+	}
+	if rng.Float64() < s.X {
+		base, ok := s.Base.(StreamMechanism)
+		if !ok {
+			return StreamPick{}, fmt.Errorf("mechanism: smoothing base %s has no streaming draw", s.Base.Name())
+		}
+		return base.RecommendStream(sc, n, rng)
+	}
+	return resolveUniform(sc, rng.Intn(n), nnz), nil
+}
+
+// TopKLaplaceStream is TopKLaplaceSparse over a stream: support entries are
+// noised in stream order and offered straight to the shared bounded heap,
+// then the tail's top-j order statistics join with the same sequence
+// numbers the materialized `all` slice would give them — so the heap
+// replays the exact comparison sequence TopIndices performs and the
+// released set is bit-identical. O(k) memory, nothing support-sized.
+func TopKLaplaceStream(eps, sens float64, sc stream.Scorer, n, k int, rng *rand.Rand) ([]StreamPick, error) {
+	if !(eps > 0) {
+		return nil, ErrBadEpsilon
+	}
+	if !(sens > 0) {
+		return nil, ErrBadSens
+	}
+	nnz, _, err := scanStream(sc, n)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("mechanism: top-k k=%d outside [1, %d]", k, n)
+	}
+	noise := distribution.Laplace{Loc: 0, Scale: sens / eps}
+	h := topHeap{k: k, e: make([]topEntry, 0, k)}
+	sc.Reset()
+	seq := 0
+	for {
+		i, x, ok := sc.Next()
+		if !ok {
+			break
+		}
+		h.offer(topEntry{v: x + noise.Sample(rng), seq: seq, node: i, util: x})
+		seq++
+	}
+	m := n - nnz
+	if j := min(k, m); j > 0 {
+		ranks := distinctTailRanks(m, j, rng)
+		logQ := 0.0 // log of the running top uniform order statistic
+		for t := 0; t < j; t++ {
+			u := rng.Float64()
+			if u == 0 {
+				u = math.Nextafter(0, 1)
+			}
+			logQ += math.Log(u) / float64(m-t)
+			h.offer(topEntry{v: noise.QuantileLog(logQ), seq: seq, tail: ranks[t], isTail: true})
+			seq++
+		}
+	}
+	top := h.drain()
+	out := make([]StreamPick, len(top))
+	for i, e := range top {
+		out[i] = StreamPick{Node: e.node, Util: e.util, Tail: e.tail, IsTail: e.isTail}
+	}
+	return out, nil
+}
+
+// peelScratch holds the gathered support TopKPeelStream's without-
+// replacement rounds swap-remove from; pooled because the peel genuinely
+// needs random access to the shrinking remainder.
+type peelScratch struct {
+	vals  []float64
+	nodes []int32
+}
+
+var peelPool = stream.NewPool("mechanism.peel", func() *peelScratch { return &peelScratch{} })
+
+// TopKPeelStream is TopKPeelSparse over a stream: the support is gathered
+// once into pooled scratch (the k sequential ε/k draws remove winners
+// without replacement, which requires random access), then the identical
+// peel runs against it. Draws consume the RNG exactly as the materialized
+// peel does, so the released sequence is bit-identical.
+func TopKPeelStream(eps, sens float64, sc stream.Scorer, n, k int, rng *rand.Rand) ([]StreamPick, error) {
+	if !(eps > 0) {
+		return nil, ErrBadEpsilon
+	}
+	if !(sens > 0) {
+		return nil, ErrBadSens
+	}
+	nnz, _, err := scanStream(sc, n)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("mechanism: top-k k=%d outside [1, %d]", k, n)
+	}
+	ps := peelPool.Get()
+	defer peelPool.Put(ps)
+	ps.vals, ps.nodes = ps.vals[:0], ps.nodes[:0]
+	sc.Reset()
+	for {
+		i, x, ok := sc.Next()
+		if !ok {
+			break
+		}
+		ps.vals = append(ps.vals, x)
+		ps.nodes = append(ps.nodes, i)
+	}
+	remaining, nodes := ps.vals, ps.nodes
+	round := Exponential{Epsilon: eps / float64(k), Sensitivity: sens}
+	m := n - nnz
+	var taken TailTracker
+	out := make([]StreamPick, 0, k)
+	for len(out) < k {
+		pick, err := round.RecommendSparse(SparseVec{Val: remaining, N: len(remaining) + m}, rng)
+		if err != nil {
+			return nil, err
+		}
+		if pick.IsTail() {
+			out = append(out, StreamPick{IsTail: true, Tail: taken.Take(pick.Tail)})
+			m--
+			continue
+		}
+		out = append(out, StreamPick{Node: nodes[pick.Support], Util: remaining[pick.Support]})
+		last := len(remaining) - 1
+		remaining[pick.Support], remaining[last] = remaining[last], remaining[pick.Support]
+		nodes[pick.Support], nodes[last] = nodes[last], nodes[pick.Support]
+		remaining = remaining[:last]
+		nodes = nodes[:last]
+	}
+	return out, nil
+}
+
+// BestTopKStream is the non-private exact top k over a stream: the shared
+// bounded heap selects the ks = min(k, nnz) best support entries (ties
+// toward the lower node ID, matching a stable descending sort), padded with
+// the lowest zero-tail ranks — the same picks bestTopK materializes.
+func BestTopKStream(sc stream.Scorer, n, k int) ([]StreamPick, error) {
+	nnz, _, err := scanStream(sc, n)
+	if err != nil {
+		return nil, err
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("mechanism: top-k k=%d outside [1, %d]", k, n)
+	}
+	out := make([]StreamPick, 0, k)
+	if ks := min(k, nnz); ks > 0 {
+		h := topHeap{k: ks, e: make([]topEntry, 0, ks)}
+		sc.Reset()
+		seq := 0
+		for {
+			i, x, ok := sc.Next()
+			if !ok {
+				break
+			}
+			h.offer(topEntry{v: x, seq: seq, node: i, util: x})
+			seq++
+		}
+		for _, e := range h.drain() {
+			out = append(out, StreamPick{Node: e.node, Util: e.util})
+		}
+	}
+	for rank := 0; len(out) < k; rank++ {
+		out = append(out, StreamPick{IsTail: true, Tail: rank})
+	}
+	return out, nil
+}

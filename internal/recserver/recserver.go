@@ -321,6 +321,12 @@ type healthResponse struct {
 	// deployment-wide aggregates; per-principal spend is only exposed via
 	// the explicit /v1/budget?target= query.
 	Budget *budgetResponse `json:"budget,omitempty"`
+	// StreamPools reports the streaming pipeline's pooled-scratch counters
+	// (gets, puts, news per pool). Under steady load news should plateau:
+	// a news count that tracks gets means scratch is escaping its request
+	// instead of being recycled. Allocation counters only — they reveal
+	// nothing about individual requests or edges.
+	StreamPools []socialrec.PoolStat `json:"stream_pools,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -348,6 +354,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		b := s.globalBudget()
 		resp.Budget = &b
 	}
+	resp.StreamPools = socialrec.StreamPoolStats()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,0 +1,64 @@
+// Package stream defines the pull-based iterator contract the serving path
+// uses to move a target's sparse utility support from the graph kernels to
+// the mechanisms without materializing it: a Scorer yields (candidate index,
+// utility) pairs one at a time out of pooled scratch, so an uncached request
+// allocates nothing proportional to the support.
+//
+// Contract:
+//
+//   - Next returns the next nonzero (idx, val) pair in strictly ascending
+//     idx order, or ok == false once the stream is exhausted. Values are
+//     positive (utility kernels emit only the nonzero support).
+//   - Reset rewinds the stream to the first pair. Mechanisms are multi-pass
+//     consumers (the exponential mechanism needs a max pass before its
+//     weight pass, exactly like the materialized path), so Reset must be
+//     O(1) and side-effect free.
+//   - Close returns the Scorer's backing scratch to its pool. The Scorer
+//     must not be used after Close; Close is idempotent.
+//
+// A fresh Scorer is positioned at the start; the first consumer pass may
+// call Next without a Reset. The producing kernel owns the scratch until
+// Close, which is what keeps the whole pipeline allocation-free: ownership
+// transfers from the pool to the kernel to the consumer and back to the
+// pool, never to the heap.
+package stream
+
+// Scorer is the pull iterator over a sparse utility support. See the
+// package comment for the full contract.
+type Scorer interface {
+	Next() (idx int32, val float64, ok bool)
+	Reset()
+	Close()
+}
+
+// Slice is a Scorer over caller-provided parallel slices, for tests and for
+// feeding mechanisms from an already-materialized support. Close is a no-op;
+// the caller owns the slices.
+type Slice struct {
+	Idx []int32
+	Val []float64
+	pos int
+}
+
+// NewSlice returns a Slice positioned at the start.
+func NewSlice(idx []int32, val []float64) *Slice { return &Slice{Idx: idx, Val: val} }
+
+// Next implements Scorer.
+func (s *Slice) Next() (int32, float64, bool) {
+	if s.pos >= len(s.Val) {
+		return 0, 0, false
+	}
+	i := s.pos
+	s.pos++
+	var id int32
+	if i < len(s.Idx) {
+		id = s.Idx[i]
+	}
+	return id, s.Val[i], true
+}
+
+// Reset implements Scorer.
+func (s *Slice) Reset() { s.pos = 0 }
+
+// Close implements Scorer.
+func (*Slice) Close() {}

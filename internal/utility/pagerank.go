@@ -52,16 +52,28 @@ func (p PageRank) tolerance() float64 {
 // accumulated over the merged frontier, making every float — and the
 // iteration count — bit-identical to the dense power iteration.
 func (p PageRank) Sparse(v View, r int) ([]int32, []float64, error) {
+	s := getSparseScratch()
+	defer putSparseScratch(s)
+	cur, err := p.accumulate(v, r, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx, val := collectSparse(v, r, cur)
+	return idx, val, nil
+}
+
+// accumulate runs the power iteration into s and returns the accumulator
+// holding the converged mass (one of s.a/s.b, depending on iteration
+// parity). It is the shared kernel behind Sparse and StreamSparse.
+func (p PageRank) accumulate(v View, r int, s *sparseScratch) (*accumulator, error) {
 	if r < 0 || r >= v.NumNodes() {
-		return nil, nil, fmt.Errorf("%w: %d", ErrTarget, r)
+		return nil, fmt.Errorf("%w: %d", ErrTarget, r)
 	}
 	alpha := p.alpha()
 	if !(alpha > 0 && alpha < 1) {
-		return nil, nil, fmt.Errorf("utility: pagerank alpha %g outside (0,1)", alpha)
+		return nil, fmt.Errorf("utility: pagerank alpha %g outside (0,1)", alpha)
 	}
 	n := v.NumNodes()
-	s := getSparseScratch()
-	defer putSparseScratch(s)
 	s.a.grow(n)
 	s.b.grow(n)
 	cur, next := &s.a, &s.b
@@ -93,8 +105,7 @@ func (p PageRank) Sparse(v View, r int) ([]int32, []float64, error) {
 			break
 		}
 	}
-	idx, val := collectSparse(v, r, cur)
-	return idx, val, nil
+	return cur, nil
 }
 
 // mergedAbsDiff returns Σ |a[i] - b[i]| over the union of the two sorted

@@ -1,9 +1,20 @@
 package utility
 
 import (
+	"fmt"
 	"slices"
-	"sync"
+
+	"socialrec/internal/stream"
 )
+
+// checkTarget validates the target node range, the shared precondition of
+// every kernel entry point.
+func checkTarget(v View, r int) error {
+	if r < 0 || r >= v.NumNodes() {
+		return fmt.Errorf("%w: %d", ErrTarget, r)
+	}
+	return nil
+}
 
 // Sparse utility kernels. The paper's link-analysis utilities are zero
 // outside a target's 2-3-hop out-neighborhood, so on sparse graphs the
@@ -120,10 +131,10 @@ type sparseScratch struct {
 	rowA, rowB []int32
 }
 
-var sparsePool = sync.Pool{New: func() any { return &sparseScratch{} }}
+var sparsePool = stream.NewPool("utility.sparse", func() *sparseScratch { return &sparseScratch{} })
 
 func getSparseScratch() *sparseScratch {
-	return sparsePool.Get().(*sparseScratch)
+	return sparsePool.Get()
 }
 
 func putSparseScratch(s *sparseScratch) {
@@ -244,11 +255,11 @@ func (m *nodeMark) reset() {
 	m.marked = m.marked[:0]
 }
 
-var markPool = sync.Pool{New: func() any { return &nodeMark{} }}
+var markPool = stream.NewPool("utility.mark", func() *nodeMark { return &nodeMark{} })
 
 // getExclusions returns a pooled bitset with r and r's out-neighbors set.
 func getExclusions(v View, r int) *nodeMark {
-	m := markPool.Get().(*nodeMark)
+	m := markPool.Get()
 	m.grow(v.NumNodes())
 	m.set(r)
 	v.ForEachOutNeighbor(r, func(u int) { m.set(u) })

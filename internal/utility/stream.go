@@ -1,0 +1,213 @@
+package utility
+
+import "socialrec/internal/stream"
+
+// Streaming kernels. StreamSparse runs the same pooled accumulation as
+// Sparse but hands the result out as a stream.Scorer over the accumulator
+// itself instead of gathering it into freshly allocated idx/val slices —
+// the serving path consumes the pairs in place and never materializes the
+// support. The Scorer owns the sparseScratch until Close; emitted pairs are
+// bit-identical to the Sparse output (same accumulation, same ascending
+// order, same per-entry arithmetic), which is what lets streamed serving
+// reproduce materialized serving draw-for-draw.
+
+// Streamer is the optional interface a Function implements to expose its
+// kernel as a pull stream. Every built-in utility implements it.
+type Streamer interface {
+	// StreamSparse returns a Scorer yielding the target's nonzero support
+	// in ascending node order. The caller must Close it (also on error-free
+	// early exit); the emitted (idx, val) pairs match Sparse exactly.
+	StreamSparse(v View, r int) (stream.Scorer, error)
+}
+
+// Compile-time checks that every built-in utility streams.
+var (
+	_ Streamer = CommonNeighbors{}
+	_ Streamer = Jaccard{}
+	_ Streamer = WeightedPaths{}
+	_ Streamer = PageRank{}
+	_ Streamer = Degree{}
+)
+
+// maskExclusions zeroes r and r's out-neighbors in acc — the same exclusion
+// masking collectSparse applies, but over outRow spans instead of the
+// ForEachOutNeighbor closure, which would escape to the heap through the
+// interface call on the serving hot path.
+func maskExclusions(v View, r int, acc *accumulator, rowBuf *[]int32) {
+	acc.zero(int32(r))
+	for _, u := range outRow(v, r, rowBuf) {
+		acc.zero(u)
+	}
+}
+
+// accScorer streams the nonzero entries of a finished accumulator in
+// ascending index order, holding the backing sparseScratch until Close.
+// With jaccard set, each count c is normalized to c/|union| on emission —
+// the identical per-entry arithmetic Jaccard.Sparse applies at gather time.
+type accScorer struct {
+	s       *sparseScratch
+	acc     *accumulator
+	touched []int32
+	pos     int
+
+	jaccard bool
+	v       View
+	dr      int
+}
+
+var accScorerPool = stream.NewPool("utility.scorer", func() *accScorer { return &accScorer{} })
+
+// newAccScorer masks the exclusions in acc (matching collectSparse) and
+// wraps it in a pooled scorer that owns s.
+func newAccScorer(v View, r int, s *sparseScratch, acc *accumulator) *accScorer {
+	maskExclusions(v, r, acc, &s.rowA)
+	sc := accScorerPool.Get()
+	sc.s = s
+	sc.acc = acc
+	sc.touched = acc.ascending(v.NumNodes())
+	sc.pos = 0
+	return sc
+}
+
+// Next implements stream.Scorer.
+func (sc *accScorer) Next() (int32, float64, bool) {
+	val := sc.acc.val
+	for sc.pos < len(sc.touched) {
+		i := sc.touched[sc.pos]
+		sc.pos++
+		x := val[i]
+		if x == 0 {
+			continue // masked exclusion retained by the sort path
+		}
+		if sc.jaccard {
+			union := sc.dr + sc.v.InDegree(int(i)) - int(x)
+			if union <= 0 {
+				continue
+			}
+			return i, x / float64(union), true
+		}
+		return i, x, true
+	}
+	return 0, 0, false
+}
+
+// Reset implements stream.Scorer.
+func (sc *accScorer) Reset() { sc.pos = 0 }
+
+// Close implements stream.Scorer, returning the scratch and the scorer to
+// their pools.
+func (sc *accScorer) Close() {
+	if sc.s == nil {
+		return
+	}
+	putSparseScratch(sc.s)
+	*sc = accScorer{}
+	accScorerPool.Put(sc)
+}
+
+// StreamSparse implements Streamer via the shared two-hop walk.
+func (CommonNeighbors) StreamSparse(v View, r int) (stream.Scorer, error) {
+	if err := checkTarget(v, r); err != nil {
+		return nil, err
+	}
+	s := getSparseScratch()
+	twoHopWalk(v, r, s)
+	return newAccScorer(v, r, s, &s.a), nil
+}
+
+// StreamSparse implements Streamer: the two-hop counts stream through the
+// per-emit union normalization.
+func (Jaccard) StreamSparse(v View, r int) (stream.Scorer, error) {
+	if err := checkTarget(v, r); err != nil {
+		return nil, err
+	}
+	s := getSparseScratch()
+	twoHopWalk(v, r, s)
+	sc := newAccScorer(v, r, s, &s.a)
+	sc.jaccard = true
+	sc.v = v
+	sc.dr = v.OutDegree(r)
+	return sc, nil
+}
+
+// StreamSparse implements Streamer via the shared frontier walk.
+func (w WeightedPaths) StreamSparse(v View, r int) (stream.Scorer, error) {
+	s := getSparseScratch()
+	if err := w.accumulate(v, r, s); err != nil {
+		putSparseScratch(s)
+		return nil, err
+	}
+	return newAccScorer(v, r, s, &s.a), nil
+}
+
+// StreamSparse implements Streamer via the shared power iteration.
+func (p PageRank) StreamSparse(v View, r int) (stream.Scorer, error) {
+	s := getSparseScratch()
+	cur, err := p.accumulate(v, r, s)
+	if err != nil {
+		putSparseScratch(s)
+		return nil, err
+	}
+	return newAccScorer(v, r, s, cur), nil
+}
+
+// degreeScorer streams the degree utility truly lazily: a node cursor plus
+// the pooled exclusion bitset, O(1) memory beyond the bitset and no
+// accumulation pass at all.
+type degreeScorer struct {
+	v    View
+	excl *nodeMark
+	row  []int32
+	n    int
+	pos  int
+}
+
+var degreeScorerPool = stream.NewPool("utility.degree", func() *degreeScorer { return &degreeScorer{} })
+
+// StreamSparse implements Streamer.
+func (Degree) StreamSparse(v View, r int) (stream.Scorer, error) {
+	if err := checkTarget(v, r); err != nil {
+		return nil, err
+	}
+	sc := degreeScorerPool.Get()
+	sc.v = v
+	sc.n = v.NumNodes()
+	sc.pos = 0
+	m := markPool.Get()
+	m.grow(sc.n)
+	m.set(r)
+	for _, u := range outRow(v, r, &sc.row) {
+		m.set(int(u))
+	}
+	sc.excl = m
+	return sc, nil
+}
+
+// Next implements stream.Scorer.
+func (sc *degreeScorer) Next() (int32, float64, bool) {
+	for sc.pos < sc.n {
+		i := sc.pos
+		sc.pos++
+		if sc.excl.has(i) {
+			continue
+		}
+		if d := sc.v.OutDegree(i); d > 0 {
+			return int32(i), float64(d), true
+		}
+	}
+	return 0, 0, false
+}
+
+// Reset implements stream.Scorer.
+func (sc *degreeScorer) Reset() { sc.pos = 0 }
+
+// Close implements stream.Scorer.
+func (sc *degreeScorer) Close() {
+	if sc.excl == nil {
+		return
+	}
+	putExclusions(sc.excl)
+	row := sc.row // keep the grown row buffer with the pooled scorer
+	*sc = degreeScorer{row: row[:0]}
+	degreeScorerPool.Put(sc)
+}

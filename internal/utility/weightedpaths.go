@@ -52,14 +52,24 @@ func (w WeightedPaths) validate() error {
 // ascending node order, making every accumulated float bit-identical to the
 // dense walk-matrix computation.
 func (w WeightedPaths) Sparse(v View, r int) ([]int32, []float64, error) {
-	if err := w.validate(); err != nil {
-		return nil, nil, err
-	}
-	if r < 0 || r >= v.NumNodes() {
-		return nil, nil, fmt.Errorf("%w: %d", ErrTarget, r)
-	}
 	s := getSparseScratch()
 	defer putSparseScratch(s)
+	if err := w.accumulate(v, r, s); err != nil {
+		return nil, nil, err
+	}
+	idx, val := collectSparse(v, r, &s.a)
+	return idx, val, nil
+}
+
+// accumulate runs the frontier walk, leaving the discounted scores in s.a.
+// It is the shared kernel behind Sparse and StreamSparse.
+func (w WeightedPaths) accumulate(v View, r int, s *sparseScratch) error {
+	if err := w.validate(); err != nil {
+		return err
+	}
+	if r < 0 || r >= v.NumNodes() {
+		return fmt.Errorf("%w: %d", ErrTarget, r)
+	}
 	// s.a accumulates the discounted score, s.b holds the current frontier's
 	// walk counts, s.c the next level's.
 	n := v.NumNodes()
@@ -91,8 +101,7 @@ func (w WeightedPaths) Sparse(v View, r int) ([]int32, []float64, error) {
 		frontier.reset()
 		frontier, next = next, frontier
 	}
-	idx, val := collectSparse(v, r, &s.a)
-	return idx, val, nil
+	return nil
 }
 
 // Vector implements Function as a dense scatter of Sparse.

@@ -232,6 +232,19 @@ func WithWALSync(mode FsyncMode) Option {
 	}
 }
 
+// WithoutStreaming disables the fused streaming serving path and forces the
+// materialized per-request pipeline (gather support → skip table → draw)
+// even when no cache or coalescer is enabled. Streamed and materialized
+// serving are bit-identical for a fixed seed — the streaming property tests
+// pin this — so the option exists only as a diagnostic escape hatch and as
+// the control arm recbench's `streaming` section measures against.
+func WithoutStreaming() Option {
+	return func(r *Recommender) error {
+		r.noStream = true
+		return nil
+	}
+}
+
 // NonPrivate disables privacy protection entirely (R_best). It exists so
 // that examples and benchmarks can report the non-private baseline; never
 // ship it to users whose graph edges are sensitive.

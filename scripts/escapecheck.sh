@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# escapecheck.sh — escape-analysis guardrail for the streaming hot path.
+#
+# The streaming pipeline's zero-alloc claim rests on the compiler keeping
+# per-request state on the stack or in pooled scratch. This script compiles
+# the three pipeline packages with -gcflags=-m and fails if any heap escape
+# appears in the streaming hot-path files beyond the known-benign
+# allowlist:
+#
+#   - pool New constructors (&T{} / func literal): run once per pool miss,
+#     not per request;
+#   - error-path boxing (fmt.Errorf arguments): requests that fail
+#     validation may allocate;
+#   - intentional O(k) result slices of the top-k entry points and the
+#     cold Stats()/grow paths.
+#
+# Anything else — an accidental closure over a loop variable, a scorer
+# that stopped fitting its pool, an interface conversion on the per-entry
+# path — shows up as a new line and fails CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HOT_FILES='internal/(stream/(stream|pool)|utility/stream|mechanism/(stream|heap|pool))\.go'
+ALLOW='&(Slice|accScorer|degreeScorer|peelScratch)\{(\.\.\.)?\} escapes|&stream\.Pool\[.* escapes|func literal escapes|make\(\[\](PoolStat|topEntry|StreamPick|uint64|int|float64)|: (out|nnz|n|k|s\.Base\.Name\(\)) escapes|moved to heap: s$'
+
+fail=0
+for pkg in ./internal/stream ./internal/utility ./internal/mechanism; do
+    # -m output goes to stderr; forcing a rebuild keeps cached builds from
+    # suppressing it.
+    escapes=$(go build -a -gcflags='-m' "$pkg" 2>&1 |
+        grep -E 'escapes to heap|moved to heap' |
+        grep -E "$HOT_FILES" || true)
+    new=$(printf '%s\n' "$escapes" | grep -vE "$ALLOW" | grep -v '^$' || true)
+    if [ -n "$new" ]; then
+        echo "escapecheck: new heap escapes in $pkg streaming hot path:" >&2
+        printf '%s\n' "$new" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "escapecheck: FAIL — either restore stack allocation or, if the escape is genuinely benign, extend the allowlist in scripts/escapecheck.sh" >&2
+    exit 1
+fi
+echo "escapecheck: streaming hot paths clean"

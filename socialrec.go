@@ -157,6 +157,10 @@ type Recommender struct {
 	// snapshot swaps (WithDeltaInvalidation); see invalidate.go.
 	deltaInval bool
 
+	// noStream forces the materialized per-request pipeline
+	// (WithoutStreaming); see streaming.go.
+	noStream bool
+
 	// live is non-nil when the Recommender retains a mutable copy of its
 	// graph for streaming mutations; see live.go.
 	live *liveState
@@ -501,8 +505,13 @@ func (r *Recommender) buildMech(st *snapState) mechanism.Mechanism {
 // draw into an O(log nnz) binary search. All of it is a pure function of
 // the snapshot and the public (ε, Δf), so precomputing it does not change
 // the mechanism's output distribution.
+//
+// The support comes off the utility's streaming kernel (the same stage
+// graph fully streamed requests consume; see streaming.go), gathered here
+// because a cache entry must outlive the request. Gathered and streamed
+// pairs are bit-identical by the Streamer contract.
 func (r *Recommender) computeVector(st *snapState, target int) (*cachedVector, error) {
-	idx, val, err := r.util.Sparse(st.snap, target)
+	idx, val, err := r.supportSlices(st, target)
 	if err != nil {
 		return nil, err
 	}
@@ -615,6 +624,9 @@ func (r *Recommender) RequestRNG() *rand.Rand {
 
 func (r *Recommender) recommend(target int, rng *rand.Rand) (Recommendation, error) {
 	st := r.state.Load()
+	if rec, ok, err := r.recommendStreaming(st, target, rng); ok {
+		return rec, err
+	}
 	cv, err := r.vector(st, target)
 	if err != nil {
 		return Recommendation{}, err

@@ -39,6 +39,9 @@ func (r *Recommender) RecommendTopKWithRNG(target, k int, rng *rand.Rand) ([]Rec
 
 func (r *Recommender) recommendTopK(target, k int, rng *rand.Rand) ([]Recommendation, error) {
 	st := r.state.Load()
+	if out, ok, err := r.recommendTopKStreaming(st, target, k, rng); ok {
+		return out, err
+	}
 	cv, err := r.vector(st, target)
 	if err != nil {
 		return nil, err
