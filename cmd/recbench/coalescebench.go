@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"socialrec"
+	"socialrec/internal/distribution"
 	"socialrec/internal/load"
 	"socialrec/internal/recserver"
 	"socialrec/internal/utility"
@@ -99,7 +100,7 @@ func runCoalesceBench(g *socialrec.Graph, quick bool) (coalesceBenchResult, erro
 		return res, err
 	}
 	res.HotTargets = len(hot)
-	zipf := rand.NewZipf(rand.New(rand.NewSource(21)), 1.3, 1, uint64(len(hot)-1))
+	zipf := rand.NewZipf(distribution.NewRNG(21), 1.3, 1, uint64(len(hot)-1))
 	schedule := make([]int, res.Requests)
 	for i := range schedule {
 		schedule[i] = hot[zipf.Uint64()]
@@ -227,7 +228,7 @@ func runLoadtestBench(g *socialrec.Graph, quick bool) (loadtestResult, error) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	zipf := rand.NewZipf(rand.New(rand.NewSource(22)), res.ZipfS, 1, uint64(len(hot)-1))
+	zipf := rand.NewZipf(distribution.NewRNG(22), res.ZipfS, 1, uint64(len(hot)-1))
 	total := int(qps*duration.Seconds()) + 1
 	paths := make([]string, total)
 	for i := range paths {

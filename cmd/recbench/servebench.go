@@ -14,6 +14,7 @@ import (
 
 	"socialrec"
 	"socialrec/internal/budget"
+	"socialrec/internal/distribution"
 	"socialrec/internal/experiment"
 	"socialrec/internal/gen"
 	"socialrec/internal/mechanism"
@@ -136,8 +137,8 @@ func runLiveChurnArm(g *socialrec.Graph, deltaAware bool, res *liveChurnResult) 
 	// the measured gap understates the cliff, while a flattened head keeps
 	// within-round repeats — the only hits a full flush can ever serve —
 	// under 15%.
-	mutRNG := rand.New(rand.NewSource(11))
-	zipf := rand.NewZipf(rand.New(rand.NewSource(12)), 1.1, 32, uint64(res.DistinctTargets-1))
+	mutRNG := distribution.NewRNG(11)
+	zipf := rand.NewZipf(distribution.NewRNG(12), 1.1, 32, uint64(res.DistinctTargets-1))
 	var readNs int64
 	for round := 0; round < res.Rounds; round++ {
 		for m := 0; m < res.MutationsPerRound; m++ {
@@ -196,7 +197,7 @@ func runLiveChurnBench(quick bool) (liveChurnResult, error) {
 	// of the invalidation policy. Bounded degrees keep the per-mutation
 	// blast radius representative of the median edge (serving systems
 	// special-case celebrity fan-out anyway; see doc.go).
-	g, err := gen.ErdosRenyiGNM(res.Nodes, res.Edges, rand.New(rand.NewSource(3)))
+	g, err := gen.ErdosRenyiGNM(res.Nodes, res.Edges, distribution.NewRNG(3))
 	if err != nil {
 		return res, err
 	}
@@ -411,7 +412,7 @@ func runSparseBench(g *socialrec.Graph, scenario string, denseOps, sparseOps int
 	}
 
 	// Dense pipeline, uncached: exactly the pre-sparsification serving path.
-	rng := rand.New(rand.NewSource(7))
+	rng := distribution.NewRNG(7)
 	res.DenseUncachedNsOp = bench(denseOps, func(i int) {
 		target := targets[i%len(targets)]
 		full, err := cn.Vector(snap, target)
@@ -557,7 +558,7 @@ func runServeBench(opts experiment.SuiteOptions, outPath string, quick bool) err
 	// are computed once (bit-identical results under the split-RNG
 	// contract), and the distinct targets fan out across cores — so the
 	// speedup holds even on a single-CPU box, where dedup is the whole win.
-	zipf := rand.NewZipf(rand.New(rand.NewSource(2)), 1.3, 1, uint64(4*distinctTargets-1))
+	zipf := rand.NewZipf(distribution.NewRNG(2), 1.3, 1, uint64(4*distinctTargets-1))
 	batchTargets := make([]int, 512)
 	distinct := map[int]bool{}
 	for i := range batchTargets {
@@ -596,7 +597,7 @@ func runServeBench(opts experiment.SuiteOptions, outPath string, quick bool) err
 		res.Sparse, err = runSparseBench(g, "wiki-vote-quick", 200, 2000)
 	} else {
 		var big *socialrec.Graph
-		big, err = gen.PowerLawConfiguration(500000, 2000000, 1, 1.2, rand.New(rand.NewSource(1)))
+		big, err = gen.PowerLawConfiguration(500000, 2000000, 1, 1.2, distribution.NewRNG(1))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,29 @@
+// Command reclint runs this repository's invariant lint suite
+// (internal/lint): five analyzers that mechanically enforce the DP and
+// determinism contracts the serving stack depends on.
+//
+// Standalone (loads packages through go vet's driver):
+//
+//	go run ./cmd/reclint ./...
+//
+// As a vet tool (what CI does — identical results, shares the build
+// cache):
+//
+//	go build -o bin/reclint ./cmd/reclint
+//	go vet -vettool=$PWD/bin/reclint ./...
+//
+// Run a subset by enabling analyzers explicitly:
+//
+//	go run ./cmd/reclint -rngdiscipline -noiseorder ./...
+//
+// Findings can be waived per line with "//lint:allow <analyzer> <reason>";
+// the reason is mandatory and waivers are expected to stay near zero.
+// See the "Static analysis" section of the root package documentation for
+// what each analyzer pins and where that invariant came from.
+package main
+
+import "socialrec/internal/lint"
+
+func main() {
+	lint.Main(lint.All())
+}

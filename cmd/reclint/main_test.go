@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestReclintCleanOnRepo is the suite's self-hosting smoke test: the
+// binary must build and a full run over the repository must exit 0 (every
+// genuine finding is either fixed or carries a reasoned //lint:allow).
+// This is the same invocation CI gates on.
+func TestReclintCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets the whole repository")
+	}
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "reclint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/reclint")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building reclint: %v\n%s", err, out)
+	}
+
+	run := exec.Command(bin, "./...")
+	run.Dir = repoRoot
+	run.Env = os.Environ()
+	if out, err := run.CombinedOutput(); err != nil {
+		t.Errorf("reclint ./... failed: %v\n%s", err, out)
+	}
+}

@@ -408,4 +408,50 @@
 // therefore the ε-DP guarantee and budget accounting, is invariant to
 // which store serves the graph (this is pinned by a property test
 // comparing heap- and mmap-served Recommenders output-for-output).
+//
+// # Static analysis
+//
+// The invariants above are contracts between packages, and most of them
+// are invisible to the type system: nothing stops a new call site from
+// drawing math/rand global randomness, fabricating a cache epoch, or
+// sampling noise before reserving budget. The reclint suite
+// (internal/lint, run via cmd/reclint both standalone and as a
+// go vet -vettool, gated in CI) mechanically enforces the ones that have
+// bitten or nearly bitten:
+//
+//   - rngdiscipline: all randomness must flow through
+//     distribution.NewRNG/SplitN seeded streams — no global math/rand
+//     draws, no ad-hoc rand.New outside internal/distribution and
+//     internal/mechanism. Guards the determinism contract behind
+//     replayable noise, the dpcheck harness, and every seeded benchmark
+//     (see "What the theory says" and the mechanism layer).
+//
+//   - poolscratch: values obtained from stream.Pool.Get must not be used
+//     after Put/Close and must not be stored into longer-lived structures.
+//     Guards the zero-alloc streaming pipeline's scratch ownership rule
+//     ("Streaming pipeline": the kernel owns scratch until Close).
+//
+//   - atomicfield: a struct field accessed through sync/atomic anywhere
+//     must be accessed that way everywhere — one plain read next to an
+//     atomic increment is a data race the race detector only catches when
+//     the schedule cooperates. The repo itself uses typed atomics
+//     (atomic.Int64 and friends), which are immune by construction; the
+//     analyzer keeps mixed-discipline code from creeping back in.
+//
+//   - epochkey: cache insertions and key literals must derive their epoch
+//     from snapshot-state plumbing rather than fabricating one — a made-up
+//     epoch silently defeats the delta-aware invalidation of
+//     "Cache invalidation" and can serve stale utility vectors across a
+//     snapshot swap.
+//
+//   - noiseorder: inside Accountant methods, any mechanism sampling must
+//     be dominated by the budget reservation — reservation-before-query is
+//     what makes the ε-accounting of "Budget accounting" sound under
+//     crashes and concurrency.
+//
+// Findings are suppressed only by an inline "//lint:allow <analyzer>
+// <reason>" comment with a mandatory reason; a missing reason is itself
+// reported. Each analyzer ships positive and negative fixtures under
+// internal/lint/testdata, and cmd/reclint has a smoke test pinning that
+// the suite stays clean over this repository.
 package socialrec

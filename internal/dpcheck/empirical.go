@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"socialrec/internal/distribution"
 	"socialrec/internal/graph"
 )
 
@@ -126,7 +127,7 @@ func empiricalDist(g *graph.Graph, target int, factory SamplerFactory, samples i
 	}
 	n := g.NumNodes()
 	counts := make([]int, n)
-	rng := rand.New(rand.NewSource(seed))
+	rng := distribution.NewRNG(seed)
 	for i := 0; i < samples; i++ {
 		node, err := sample(rng)
 		if err != nil {

@@ -27,6 +27,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"socialrec/internal/distribution"
 )
 
 // Mode selects what an armed failpoint does when it fires.
@@ -90,7 +92,7 @@ func Arm(site string, cfg Config) {
 	}
 	p := &point{cfg: cfg, left: cfg.Count}
 	if cfg.Prob > 0 {
-		p.rng = rand.New(rand.NewSource(cfg.Seed))
+		p.rng = distribution.NewRNG(cfg.Seed)
 	}
 	if _, ok := points[site]; !ok {
 		active.Add(1)

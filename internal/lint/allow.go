@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression: a finding may be waived at its line with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory — a suppression without a recorded why is just a
+// hidden bug — and the waiver only covers the named analyzer on the lines
+// the comment group spans (so both same-line trailing comments and a
+// comment directly above a statement work). The driver applies the filter
+// after analyzers run, so analyzers stay oblivious to suppression.
+
+const allowPrefix = "//lint:allow"
+
+// allowMatcher indexes the //lint:allow comments of one file set.
+type allowMatcher struct {
+	fset *token.FileSet
+	// byLine maps file -> line -> analyzer names allowed on that line.
+	byLine map[string]map[int][]string
+	// malformed records allow comments with no analyzer or no reason; the
+	// driver reports them as findings so a bare waiver cannot slip in.
+	malformed []Diagnostic
+}
+
+func newAllowMatcher(fset *token.FileSet, files []*ast.File) *allowMatcher {
+	m := &allowMatcher{fset: fset, byLine: map[string]map[int][]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					m.malformed = append(m.malformed, Diagnostic{
+						Pos:     c.Pos(),
+						Message: "malformed " + allowPrefix + ": need \"" + allowPrefix + " <analyzer> <reason>\" with a non-empty reason",
+					})
+					continue
+				}
+				pos := m.fset.Position(c.Pos())
+				lines := m.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					m.byLine[pos.Filename] = lines
+				}
+				// A trailing comment waives its own line; a comment on a
+				// line of its own waives the line below it.
+				lines[pos.Line] = append(lines[pos.Line], name)
+				lines[pos.Line+1] = append(lines[pos.Line+1], name)
+			}
+		}
+	}
+	return m
+}
+
+// allowed reports whether a diagnostic from the named analyzer at pos is
+// waived.
+func (m *allowMatcher) allowed(analyzer string, pos token.Pos) bool {
+	p := m.fset.Position(pos)
+	for _, name := range m.byLine[p.Filename][p.Line] {
+		if name == analyzer {
+			return true
+		}
+	}
+	return false
+}

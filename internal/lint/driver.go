@@ -1,0 +1,337 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// This file implements the driver protocol spoken by "go vet -vettool":
+//
+//	reclint -V=full        print an executable fingerprint (build caching)
+//	reclint -flags         describe flags as JSON (flag validation)
+//	reclint unit.cfg       analyze one compilation unit described by JSON
+//	reclint [pkgs...]      standalone: re-exec as go vet -vettool=self
+//
+// The unit config is the JSON file cmd/go writes next to each compiled
+// package: file lists, the import map, and the export-data files of every
+// dependency. Type information therefore comes from the compiler's own
+// export data (via go/importer's gc lookup mode) — the driver never
+// re-typechecks dependencies, which is what keeps a full ./... run a
+// couple hundred milliseconds. The same protocol powers x/tools'
+// unitchecker; this is a dependency-free reimplementation of the subset
+// reclint needs (no analyzer facts, no cross-unit state).
+
+// unitConfig mirrors the JSON vet config written by cmd/go. Field names
+// are the protocol; unused fields are accepted and ignored.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for cmd/reclint. It never returns.
+func Main(analyzers []*Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix("reclint: ")
+
+	fs := flag.NewFlagSet("reclint", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: reclint [-<analyzer>]... [package pattern...]\n")
+		fmt.Fprintf(os.Stderr, "       reclint unit.cfg   (driver protocol, invoked by go vet -vettool)\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		os.Exit(2)
+	}
+	fs.Var(versionFlag{}, "V", "print version and exit (-V=full)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON")
+	selected := map[string]*bool{}
+	for _, a := range analyzers {
+		selected[a.Name] = fs.Bool(a.Name, false, "run only analyzers enabled this way: "+strings.SplitN(a.Doc, "\n", 2)[0])
+	}
+	_ = fs.Parse(os.Args[1:])
+
+	if *printFlags {
+		// go vet validates user flags against this list before passing
+		// them through.
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var out []jsonFlag
+		fs.VisitAll(func(f *flag.Flag) {
+			if f.Name == "flags" || f.Name == "V" {
+				return
+			}
+			out = append(out, jsonFlag{Name: f.Name, Bool: true, Usage: f.Usage})
+		})
+		data, err := json.Marshal(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		os.Exit(0)
+	}
+
+	// vet semantics: enabling any analyzer by flag disables the rest.
+	var enabled []*Analyzer
+	for _, a := range analyzers {
+		if *selected[a.Name] {
+			enabled = append(enabled, a)
+		}
+	}
+	if len(enabled) == 0 {
+		enabled = analyzers
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0], enabled))
+	}
+	os.Exit(standalone(args, analyzers, selected))
+}
+
+// standalone re-invokes the suite through the real go vet driver, which
+// handles package loading, build caching, and recursive patterns. This is
+// the mode CI and humans use: reclint ./...
+func standalone(patterns []string, analyzers []*Analyzer, selected map[string]*bool) int {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatalf("cannot locate own executable: %v", err)
+	}
+	args := []string{"vet", "-vettool=" + exe}
+	for _, a := range analyzers {
+		if *selected[a.Name] {
+			args = append(args, "-"+a.Name)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		log.Fatalf("go vet: %v", err)
+	}
+	return 0
+}
+
+// runUnit analyzes one compilation unit per the vet driver protocol and
+// returns the process exit code.
+func runUnit(cfgPath string, analyzers []*Analyzer) int {
+	cfg, err := readUnitConfig(cfgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The driver must always produce the facts output file the build
+	// system expects, even though reclint's analyzers exchange no facts.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				log.Fatalf("writing facts output: %v", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		// Fact-only runs exist so dependency facts can flow to dependents;
+		// with no facts there is nothing to compute.
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheckUnit(cfg, fset, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		log.Fatal(err)
+	}
+
+	diags := runAnalyzers(analyzers, fset, files, pkg, info)
+	writeVetx()
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runAnalyzers executes the suite over one type-checked package and
+// returns the surviving (non-suppressed) diagnostics in file order. It is
+// shared by the vet driver above and the linttest fixture harness.
+func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
+	allow := newAllowMatcher(fset, files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    nil,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			if allow.allowed(name, d.Pos) {
+				return
+			}
+			d.Message = d.Message + " [" + name + "]"
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			log.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	diags = append(diags, allow.malformed...)
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+// typecheckUnit type-checks the unit's files against the compiler export
+// data listed in the config.
+func typecheckUnit(cfg *unitConfig, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	gcImporter := importer.ForCompiler(fset, compiler, lookup)
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("cannot resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gcImporter.Import(path)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+// newTypesInfo allocates the full set of type-fact maps the analyzers
+// consult.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+func readUnitConfig(path string) (*unitConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("malformed vet config %s: %v", path, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package %s has no Go files", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// versionFlag implements the -V=full handshake go vet uses to fingerprint
+// the tool for its build cache: any output of the form
+// "name version devel ... buildID=<hex>" is accepted for a -vettool.
+type versionFlag struct{}
+
+func (versionFlag) String() string   { return "" }
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		return fmt.Errorf("unsupported: -V=%s (only -V=full)", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("reclint version devel buildID=%x\n", h.Sum(nil))
+	os.Exit(0)
+	return nil
+}

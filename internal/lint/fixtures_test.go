@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Fixture harness in the style of x/tools' analysistest, built on the
+// standard library only. Fixture packages live under testdata/src/<path>
+// and are hermetic: every import — including "math/rand" and
+// "sync/atomic" — resolves to a stub package under testdata/src, so the
+// tests exercise exactly the import-path matching the analyzers do in
+// production without depending on GOROOT sources.
+//
+// Expected findings are declared in the fixture source with trailing
+// comments:
+//
+//	_ = rand.Float64() // want "global rand.Float64 draw"
+//
+// Each quoted string is a regexp that must match a diagnostic reported on
+// that line; every diagnostic must be claimed by a want and every want
+// must be matched.
+
+// runFixture loads the fixture package at path (relative to testdata/src)
+// and checks the given analyzers' combined diagnostics against its want
+// comments.
+func runFixture(t *testing.T, analyzers []*Analyzer, path string) {
+	t.Helper()
+	l := &fixtureLoader{
+		root: filepath.Join("testdata", "src"),
+		fset: token.NewFileSet(),
+		pkgs: map[string]*types.Package{},
+	}
+	pkg, files, info, err := l.load(path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+
+	diags := runAnalyzers(analyzers, l.fset, files, pkg, info)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*wantPattern{}
+	for _, f := range files {
+		for _, w := range parseWants(t, l.fset, f) {
+			k := key{w.file, w.line}
+			wants[k] = append(wants[k], w)
+		}
+	}
+
+	for _, d := range diags {
+		posn := l.fset.Position(d.Pos)
+		k := key{posn.Filename, posn.Line}
+		claimed := false
+		for _, w := range wants[k] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+			}
+		}
+	}
+}
+
+type wantPattern struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantQuoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []*wantPattern {
+	t.Helper()
+	var out []*wantPattern
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			posn := fset.Position(c.Pos())
+			for _, q := range wantQuoted.FindAllString(rest, -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s: bad want string %s: %v", posn, q, err)
+				}
+				rx, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", posn, pat, err)
+				}
+				out = append(out, &wantPattern{file: posn.Filename, line: posn.Line, rx: rx})
+			}
+		}
+	}
+	return out
+}
+
+// fixtureLoader resolves and type-checks fixture packages recursively.
+type fixtureLoader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+}
+
+func (l *fixtureLoader) load(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	imp := importerFunc(func(p string) (*types.Package, error) {
+		if p == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if pkg, ok := l.pkgs[p]; ok {
+			return pkg, nil
+		}
+		pkg, _, _, err := l.load(p)
+		return pkg, err
+	})
+	tc := &types.Config{Importer: imp}
+	info := newTypesInfo()
+	pkg, err := tc.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, files, info, nil
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestRNGDisciplineFixtures(t *testing.T) {
+	runFixture(t, []*Analyzer{RNGDiscipline}, "rngd/a")
+}
+
+func TestRNGDisciplineAllowlistPackages(t *testing.T) {
+	// The construction allowlist: distribution and mechanism may build raw
+	// generators, so their fixture packages (which both call rand.New)
+	// must produce zero diagnostics.
+	runFixture(t, []*Analyzer{RNGDiscipline}, "socialrec/internal/distribution")
+	runFixture(t, []*Analyzer{RNGDiscipline}, "socialrec/internal/mechanism")
+}
+
+func TestPoolScratchFixtures(t *testing.T) {
+	runFixture(t, []*Analyzer{PoolScratch}, "poolscratch/a")
+}
+
+func TestAtomicFieldFixtures(t *testing.T) {
+	runFixture(t, []*Analyzer{AtomicField}, "atomicf/a")
+}
+
+func TestEpochKeyAndNoiseOrderFixtures(t *testing.T) {
+	// Both analyzers fire only inside the root socialrec package, so they
+	// share one fixture package under that import path.
+	runFixture(t, []*Analyzer{EpochKey, NoiseOrder}, "socialrec")
+}
+
+func TestSuiteShape(t *testing.T) {
+	all := All()
+	if len(all) < 5 {
+		t.Fatalf("suite has %d analyzers, want >= 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+func TestMalformedAllowIsReported(t *testing.T) {
+	parse := func(src string) *allowMatcher {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return newAllowMatcher(fset, []*ast.File{f})
+	}
+
+	// Missing reason: rejected, not honored.
+	m := parse("package p\n\nfunc f() int {\n\tx := 1 //lint:allow rngdiscipline\n\treturn x\n}\n")
+	if len(m.malformed) != 1 {
+		t.Fatalf("got %d malformed diagnostics, want 1", len(m.malformed))
+	}
+	if !strings.Contains(m.malformed[0].Message, "malformed") {
+		t.Errorf("unexpected message %q", m.malformed[0].Message)
+	}
+
+	// Missing analyzer name entirely.
+	m = parse("package p\n\nfunc g() {\n\t//lint:allow\n}\n")
+	if len(m.malformed) != 1 {
+		t.Fatalf("got %d malformed diagnostics, want 1", len(m.malformed))
+	}
+
+	// Well-formed: no malformed entries, and the named analyzer (only) is
+	// waived on that line.
+	m = parse("package p\n\nfunc h() int {\n\tx := 1 //lint:allow epochkey fixture reason\n\treturn x\n}\n")
+	if len(m.malformed) != 0 {
+		t.Fatalf("got %d malformed diagnostics, want 0", len(m.malformed))
+	}
+}

@@ -1,0 +1,45 @@
+// Package a holds positive and negative atomicfield fixtures.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	bytes uint64
+	typed atomic.Int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddUint64(&c.bytes, 8)
+}
+
+func (c *counter) badRead() int64 {
+	return c.n // want "non-atomic access to field n"
+}
+
+func (c *counter) badWrite() {
+	c.bytes = 0 // want "non-atomic access to field bytes"
+}
+
+func (c *counter) goodRead() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) goodCAS(old int64) bool {
+	return atomic.CompareAndSwapInt64(&c.n, old, old+1)
+}
+
+// Typed atomics make mixed access unrepresentable; never reported.
+func (c *counter) typedIsFine() int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+// plain is never touched atomically, so plain access is fine.
+type plain struct{ n int64 }
+
+func (p *plain) bump() int64 {
+	p.n++
+	return p.n
+}

@@ -1,0 +1,74 @@
+// Package a holds positive and negative poolscratch fixtures.
+package a
+
+import "socialrec/internal/stream"
+
+type buf struct{ vals []float64 }
+
+var bufPool = stream.NewPool("fixture.buf", func() *buf { return &buf{} })
+
+type holder struct{ b *buf }
+
+var leaked *buf
+
+func useAfterPut() {
+	b := bufPool.Get()
+	b.vals = append(b.vals, 1)
+	bufPool.Put(b)
+	b.vals[0] = 2 // want "use of .b. after it was released"
+}
+
+func storeToField(h *holder) {
+	b := bufPool.Get()
+	h.b = b // want "stored to struct field b"
+	bufPool.Put(b)
+}
+
+func storeToGlobal() {
+	b := bufPool.Get()
+	leaked = b // want "stored to package-level variable leaked"
+	bufPool.Put(b)
+}
+
+func useAfterClose(s *stream.SliceScorer) {
+	s.Close()
+	_, _, _ = s.Next() // want "use of .s. after it was released"
+}
+
+func deferredPutIsFine() float64 {
+	b := bufPool.Get()
+	defer bufPool.Put(b)
+	b.vals = append(b.vals, 3)
+	return b.vals[0]
+}
+
+func rebindIsFine() {
+	b := bufPool.Get()
+	bufPool.Put(b)
+	b = bufPool.Get()
+	b.vals = b.vals[:0]
+	bufPool.Put(b)
+}
+
+// pooledScorer mirrors the kernel pattern: pooled scratch linked into
+// other pooled scratch that owns it until Close. No reports here.
+type pooledScorer struct {
+	b   *buf
+	pos int
+}
+
+var scorerPool = stream.NewPool("fixture.scorer", func() *pooledScorer { return &pooledScorer{} })
+
+func kernelPatternIsFine() *pooledScorer {
+	sc := scorerPool.Get()
+	b := bufPool.Get()
+	sc.b = b // linking into request-scoped pooled scratch is the contract
+	return sc
+}
+
+func (sc *pooledScorer) Next() (int32, float64, bool) { return 0, 0, false }
+func (sc *pooledScorer) Reset()                       {}
+func (sc *pooledScorer) Close() {
+	bufPool.Put(sc.b)
+	scorerPool.Put(sc)
+}

@@ -1,0 +1,31 @@
+// Package a holds positive and negative rngdiscipline fixtures.
+package a
+
+import (
+	"math/rand"
+
+	"socialrec/internal/distribution"
+)
+
+func globalDraws() {
+	_ = rand.Float64()                 // want "global rand.Float64 draw"
+	_ = rand.Intn(10)                  // want "global rand.Intn draw"
+	_ = rand.Int63()                   // want "global rand.Int63 draw"
+	rand.Seed(42)                      // want "global rand.Seed draw"
+	rand.Shuffle(3, func(i, j int) {}) // want "global rand.Shuffle draw"
+}
+
+func adHocConstruction() {
+	r := rand.New(rand.NewSource(1)) // want "ad-hoc rand.New:" "ad-hoc rand.NewSource:"
+	_ = r.Float64()                  // threaded draws are fine
+}
+
+func threadedIsFine(rng *rand.Rand) float64 {
+	z := rand.NewZipf(rng, 1.1, 1, 10) // NewZipf inherits the injected source
+	_ = z.Uint64()
+	return rng.Float64()
+}
+
+func approvedConstruction() *rand.Rand {
+	return distribution.SplitN(7, "fixture", 3)
+}

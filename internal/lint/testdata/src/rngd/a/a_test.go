@@ -1,0 +1,12 @@
+package a
+
+import "math/rand"
+
+// Test files are exempt from rngdiscipline: fixed ad-hoc seeds in tests
+// are the established idiom. Nothing here may be reported.
+
+func testOnlyHelpers() {
+	_ = rand.Float64()
+	r := rand.New(rand.NewSource(42))
+	_ = r.Intn(3)
+}

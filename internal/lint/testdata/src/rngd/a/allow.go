@@ -1,0 +1,16 @@
+package a
+
+import "math/rand"
+
+// The //lint:allow mechanism waives a finding when it names the analyzer
+// and carries a reason. No want comments in this file: every violation
+// below is waived, so nothing may be reported.
+
+func waivedTrailing() {
+	_ = rand.Float64() //lint:allow rngdiscipline fixture for the waiver mechanism
+}
+
+func waivedFromLineAbove() {
+	//lint:allow rngdiscipline a comment line waives the line below it
+	_ = rand.Float64()
+}

@@ -1,0 +1,11 @@
+// Package budget is a hermetic fixture stub of socialrec/internal/budget
+// for the noiseorder fixtures.
+package budget
+
+type Manager struct{}
+
+type Reservation struct{}
+
+func (m *Manager) Reserve(key string, eps float64) (*Reservation, error) { return nil, nil }
+
+func (r *Reservation) Refund() bool { return false }

@@ -1,0 +1,14 @@
+// Package distribution is the rngdiscipline allowlist fixture: the real
+// socialrec/internal/distribution is the one place allowed to know how
+// generators are seeded, so raw construction here must NOT be reported.
+package distribution
+
+import "math/rand"
+
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func SplitN(parent int64, label string, n int) *rand.Rand {
+	return NewRNG(parent + int64(n) + int64(len(label)))
+}

@@ -1,0 +1,18 @@
+// Package mechanism is a hermetic fixture stub of
+// socialrec/internal/mechanism. It doubles as the rngdiscipline allowlist
+// fixture: this package may construct raw generators (its samplers are
+// distribution-audited), so the rand.New below must NOT be reported.
+package mechanism
+
+import "math/rand"
+
+// Sample stands in for any mechanism draw in the noiseorder fixtures.
+func Sample() int { return 0 }
+
+// SampleWith draws from a threaded generator.
+func SampleWith(rng *rand.Rand) int { return rng.Intn(2) }
+
+// newAuditedRNG exercises the construction allowlist: no diagnostic here.
+func newAuditedRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

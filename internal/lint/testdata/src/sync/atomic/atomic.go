@@ -1,0 +1,17 @@
+// Package atomic is a hermetic fixture stub of sync/atomic for the
+// atomicfield fixtures.
+package atomic
+
+func AddInt64(addr *int64, delta int64) int64 { return 0 }
+func LoadInt64(addr *int64) int64             { return 0 }
+func StoreInt64(addr *int64, val int64)       {}
+
+func AddUint64(addr *uint64, delta uint64) uint64          { return 0 }
+func LoadUint64(addr *uint64) uint64                       { return 0 }
+func CompareAndSwapInt64(addr *int64, old, new int64) bool { return false }
+
+type Int64 struct{ v int64 }
+
+func (x *Int64) Add(delta int64) int64 { return 0 }
+func (x *Int64) Load() int64           { return 0 }
+func (x *Int64) Store(val int64)       {}

@@ -8,7 +8,10 @@ package retry
 import (
 	"context"
 	"math/rand"
+	"sync/atomic"
 	"time"
+
+	"socialrec/internal/distribution"
 )
 
 // Policy describes one bounded exponential-backoff schedule. The zero
@@ -29,7 +32,16 @@ type Policy struct {
 	// Sleep replaces the wait primitive in tests; nil means a
 	// context-aware time.Sleep.
 	Sleep func(context.Context, time.Duration) error
+	// Seed roots the jitter RNG stream. Each Do call draws from its own
+	// split stream (deterministic per (Seed, call sequence)), so backoff
+	// never touches the process-global math/rand source while concurrent
+	// retriers still decorrelate.
+	Seed int64
 }
+
+// jitterSeq numbers Do invocations so each gets an independent split
+// stream off the policy seed.
+var jitterSeq atomic.Int64
 
 // Default is the serving tier's persist/rebuild schedule: 4 attempts
 // spanning roughly a second, so a transient disk hiccup is ridden out but
@@ -72,6 +84,10 @@ func (p Policy) Do(ctx context.Context, op func() error) error {
 		sleep = sleepCtx
 	}
 	delay := p.BaseDelay
+	var rng *rand.Rand
+	if p.Jitter > 0 {
+		rng = distribution.SplitN(p.Seed, "retry.jitter", int(jitterSeq.Add(1)))
+	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -85,7 +101,7 @@ func (p Policy) Do(ctx context.Context, op func() error) error {
 		}
 		d := delay
 		if p.Jitter > 0 {
-			d = time.Duration(float64(d) * (1 - p.Jitter*rand.Float64()))
+			d = time.Duration(float64(d) * (1 - p.Jitter*rng.Float64()))
 		}
 		if d > 0 {
 			if err := sleep(ctx, d); err != nil {
